@@ -1,0 +1,215 @@
+// Package cepheus is the public API of the Cepheus reproduction: it builds
+// simulated RoCE clusters (the paper's 4-server testbed or the 1024-server
+// fat-tree), creates multicast groups with in-network acceleration, and
+// runs one-to-many transfers under Cepheus or any of the paper's AMcast
+// baselines (binomial tree, chain, n-unicast, RDMC, increasing-ring,
+// long). See README.md for a quickstart and DESIGN.md for the system map.
+package cepheus
+
+import (
+	"fmt"
+
+	"repro/internal/amcast"
+	"repro/internal/core"
+	"repro/internal/roce"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// Scheme names a multicast scheme.
+type Scheme string
+
+// The schemes the paper evaluates.
+const (
+	SchemeCepheus  Scheme = "cepheus"
+	SchemeBinomial Scheme = "binomial-tree"
+	SchemeChain    Scheme = "chain"
+	SchemeRing     Scheme = "increasing-ring"
+	SchemeNUnicast Scheme = "n-unicast"
+	SchemeRDMC     Scheme = "rdmc"
+	SchemeLong     Scheme = "long"
+)
+
+// Options tune cluster construction.
+type Options struct {
+	// Seed drives the deterministic simulation (default 1).
+	Seed int64
+	// Transport overrides the RoCE configuration (default roce.DefaultConfig).
+	Transport *roce.Config
+	// Accel overrides the accelerator configuration on every switch.
+	Accel *core.AccelConfig
+	// LinkRate and PropDelay override the fabric parameters.
+	LinkRate  float64
+	PropDelay sim.Time
+}
+
+func (o *Options) fill() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Transport == nil {
+		c := roce.DefaultConfig()
+		o.Transport = &c
+	}
+	if o.Accel == nil {
+		c := core.DefaultAccelConfig()
+		o.Accel = &c
+	}
+	if o.LinkRate == 0 {
+		o.LinkRate = topo.DefaultLinkRate
+	}
+	if o.PropDelay == 0 {
+		o.PropDelay = topo.DefaultPropDelay
+	}
+}
+
+// Cluster is a simulated RoCE datacenter with Cepheus accelerators on every
+// switch.
+type Cluster struct {
+	Eng    *sim.Engine
+	Net    *topo.Network
+	RNICs  []*roce.RNIC
+	Agents []*core.Agent
+	Accels []*core.Accel
+}
+
+// NewTestbed builds the paper's §IV configuration: n servers under one
+// accelerated ToR switch.
+func NewTestbed(n int, opts Options) *Cluster {
+	opts.fill()
+	eng := sim.New(opts.Seed)
+	return wire(eng, topo.TestbedWith(eng, n, opts.LinkRate, opts.PropDelay), opts)
+}
+
+// NewFatTree builds the §V-C simulation fabric: a k-ary 3-layer fat-tree
+// with k^3/4 hosts (k=16 gives the paper's 1024 servers).
+func NewFatTree(k int, opts Options) *Cluster {
+	opts.fill()
+	eng := sim.New(opts.Seed)
+	return wire(eng, topo.FatTreeWith(eng, k, opts.LinkRate, opts.PropDelay), opts)
+}
+
+// NewLeafSpine builds a two-tier Clos with the given leaf/spine counts and
+// hosts per leaf (oversubscription = hostsPerLeaf/spines).
+func NewLeafSpine(leaves, spines, hostsPerLeaf int, opts Options) *Cluster {
+	opts.fill()
+	eng := sim.New(opts.Seed)
+	return wire(eng, topo.LeafSpineWith(eng, leaves, spines, hostsPerLeaf, opts.LinkRate, opts.PropDelay), opts)
+}
+
+func wire(eng *sim.Engine, net *topo.Network, opts Options) *Cluster {
+	c := &Cluster{Eng: eng, Net: net}
+	for _, h := range net.Hosts {
+		r := roce.NewRNIC(h, *opts.Transport)
+		c.RNICs = append(c.RNICs, r)
+		c.Agents = append(c.Agents, core.NewAgent(r))
+	}
+	for _, sw := range net.Switches {
+		c.Accels = append(c.Accels, core.Attach(sw, *opts.Accel))
+	}
+	return c
+}
+
+// Hosts returns the number of hosts in the cluster.
+func (c *Cluster) Hosts() int { return len(c.Net.Hosts) }
+
+// NewGroup creates and registers a Cepheus multicast group over the given
+// host indices (members[leader] hosts the controller). It drives the
+// simulation until registration completes and returns an error on
+// rejection or timeout.
+func (c *Cluster) NewGroup(members []int, leader int) (*core.Group, error) {
+	var ms []*core.Member
+	var ags []*core.Agent
+	for _, i := range members {
+		ms = append(ms, &core.Member{Host: c.Net.Hosts[i], RNIC: c.RNICs[i], QP: c.RNICs[i].CreateQP()})
+		ags = append(ags, c.Agents[i])
+	}
+	g := core.NewGroup(c.Eng, core.AllocMcstID(), ms, leader, ags)
+	var err error
+	done := false
+	g.Register(50*sim.Millisecond, func(e error) { err = e; done = true })
+	for !done {
+		if !c.Eng.Step() {
+			return nil, fmt.Errorf("cepheus: registration stalled")
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Broadcaster builds a broadcaster of the given scheme over the host
+// indices in nodes. For SchemeCepheus this creates and registers a group;
+// baselines get an MPI-communicator-like overlay. slices parameterizes
+// Chain (the paper uses 4) and RDMC's block count; other schemes ignore it.
+func (c *Cluster) Broadcaster(scheme Scheme, nodes []int, slices int) (amcast.Broadcaster, error) {
+	if scheme == SchemeCepheus {
+		g, err := c.NewGroup(nodes, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &amcast.Cepheus{Group: g}, nil
+	}
+	ns := make([]*amcast.Node, len(nodes))
+	for i, j := range nodes {
+		ns[i] = &amcast.Node{Host: c.Net.Hosts[j], RNIC: c.RNICs[j]}
+	}
+	comm := amcast.NewComm(c.Eng, ns)
+	switch scheme {
+	case SchemeBinomial:
+		return amcast.Binomial{C: comm}, nil
+	case SchemeChain:
+		if slices < 1 {
+			slices = 4
+		}
+		return amcast.Chain{C: comm, Slices: slices}, nil
+	case SchemeRing:
+		return amcast.Chain{C: comm, Slices: 1}, nil
+	case SchemeNUnicast:
+		return amcast.NUnicast{C: comm}, nil
+	case SchemeRDMC:
+		if slices < 1 {
+			slices = 16
+		}
+		return amcast.RDMC{C: comm, Blocks: slices}, nil
+	case SchemeLong:
+		return amcast.Long{C: comm}, nil
+	default:
+		return nil, fmt.Errorf("cepheus: unknown scheme %q", scheme)
+	}
+}
+
+// RunBcast runs one broadcast to completion and returns its JCT. It panics
+// if the collective does not finish within 60 simulated seconds.
+func (c *Cluster) RunBcast(b amcast.Broadcaster, root, size int) sim.Time {
+	start := c.Eng.Now()
+	var end sim.Time = -1
+	b.Bcast(root, size, func() { end = c.Eng.Now() })
+	for end < 0 {
+		if !c.Eng.Step() || c.Eng.Now()-start > 60*sim.Second {
+			panic(fmt.Sprintf("cepheus: %s bcast of %dB did not complete", b.Name(), size))
+		}
+	}
+	return end - start
+}
+
+// SetLossRate injects random data-packet loss on every switch (Fig 13).
+func (c *Cluster) SetLossRate(rate float64) {
+	for _, sw := range c.Net.Switches {
+		sw.LossRate = rate
+	}
+}
+
+// TotalDrops sums loss-injected discards across switches.
+func (c *Cluster) TotalDrops() uint64 {
+	var n uint64
+	for _, sw := range c.Net.Switches {
+		n += sw.DataDrops
+	}
+	return n
+}
+
+// Host returns host i's address (useful when crafting custom traffic).
+func (c *Cluster) Host(i int) *simnet.Host { return c.Net.Hosts[i] }

@@ -1,0 +1,111 @@
+package cepheus
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/roce"
+	"repro/internal/sim"
+)
+
+func TestNewTestbedDefaults(t *testing.T) {
+	c := NewTestbed(4, Options{})
+	if c.Hosts() != 4 {
+		t.Fatalf("hosts = %d", c.Hosts())
+	}
+	if len(c.Accels) != 1 || len(c.RNICs) != 4 || len(c.Agents) != 4 {
+		t.Fatal("cluster wiring incomplete")
+	}
+}
+
+func TestNewFatTreeDefaults(t *testing.T) {
+	c := NewFatTree(4, Options{})
+	if c.Hosts() != 16 {
+		t.Fatalf("hosts = %d", c.Hosts())
+	}
+	if len(c.Accels) != 20 {
+		t.Fatalf("accels = %d, want one per switch", len(c.Accels))
+	}
+}
+
+func TestNewGroupRegisters(t *testing.T) {
+	core.ResetMcstIDs()
+	c := NewTestbed(4, Options{})
+	g, err := c.NewGroup([]int{0, 1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Registered() {
+		t.Fatal("group not registered")
+	}
+	if c.Accels[0].MFT(g.ID) == nil {
+		t.Fatal("no MFT on the ToR")
+	}
+}
+
+func TestEverySchemeRuns(t *testing.T) {
+	schemes := []Scheme{
+		SchemeCepheus, SchemeBinomial, SchemeChain, SchemeRing,
+		SchemeNUnicast, SchemeRDMC, SchemeLong,
+	}
+	for _, s := range schemes {
+		core.ResetMcstIDs()
+		c := NewTestbed(4, Options{})
+		b, err := c.Broadcaster(s, []int{0, 1, 2, 3}, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if jct := c.RunBcast(b, 0, 256<<10); jct <= 0 {
+			t.Fatalf("%s: JCT %v", s, jct)
+		}
+	}
+}
+
+func TestUnknownSchemeErrors(t *testing.T) {
+	c := NewTestbed(2, Options{})
+	if _, err := c.Broadcaster("bogus", []int{0, 1}, 0); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestOptionsOverride(t *testing.T) {
+	tr := roce.DefaultConfig()
+	tr.MTU = 4096
+	c := NewTestbed(2, Options{Seed: 7, Transport: &tr, LinkRate: 25e9, PropDelay: 2 * sim.Microsecond})
+	if c.Net.LinkRate != 25e9 || c.Net.PropDelay != 2*sim.Microsecond {
+		t.Fatal("link options not applied")
+	}
+	if c.RNICs[0].Cfg.MTU != 4096 {
+		t.Fatal("transport option not applied")
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		core.ResetMcstIDs()
+		c := NewTestbed(4, Options{Seed: 42})
+		c.SetLossRate(1e-3)
+		b, err := c.Broadcaster(SchemeCepheus, []int{0, 1, 2, 3}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.RunBcast(b, 0, 4<<20)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestLossInjectionThroughAPI(t *testing.T) {
+	core.ResetMcstIDs()
+	c := NewTestbed(4, Options{})
+	c.SetLossRate(0.01)
+	b, err := c.Broadcaster(SchemeCepheus, []int{0, 1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunBcast(b, 0, 8<<20)
+	if c.TotalDrops() == 0 {
+		t.Fatal("loss injection never fired")
+	}
+}

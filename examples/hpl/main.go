@@ -1,0 +1,58 @@
+// HPL acceleration (§V-B2): run the Linpack phase model on the 4-node
+// testbed with Panel Broadcast and Row Swap accelerated separately, then
+// project to large grids with the analytic model — Fig 11 plus the
+// supplementary 128x128 simulation.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/hpl"
+	"repro/internal/sim"
+)
+
+func run(p, q int, pb, rs hpl.Alg) hpl.Result {
+	eng := sim.New(1)
+	return hpl.NewTestbedCluster(eng, hpl.DefaultTestbedConfig(p, q), pb, rs).Run()
+}
+
+func main() {
+	basePB := run(1, 4, hpl.AlgRing, hpl.AlgLong)
+	accelPB := run(1, 4, hpl.AlgCepheus, hpl.AlgLong)
+	baseRS := run(4, 1, hpl.AlgRing, hpl.AlgLong)
+	accelRS := run(4, 1, hpl.AlgRing, hpl.AlgCepheus)
+
+	jct := exp.NewTable("Fig 11a: end-to-end HPL JCT (1x4 accelerates PB, 4x1 accelerates RS)",
+		"setting", "JCT", "comm", "others", "JCT reduction")
+	add := func(name string, base, accel hpl.Result) {
+		jct.Add(name+"/baseline", base.JCT.String(), base.Comm().String(), base.Others().String(), "-")
+		jct.Add(name+"/cepheus", accel.JCT.String(), accel.Comm().String(), accel.Others().String(),
+			fmt.Sprintf("-%.1f%%", 100*(1-float64(accel.JCT)/float64(base.JCT))))
+	}
+	add("PB(1x4)", basePB, accelPB)
+	add("RS(4x1)", baseRS, accelRS)
+	fmt.Print(jct)
+
+	comm := exp.NewTable("Fig 11b: communication time",
+		"phase", "baseline", "cepheus", "reduction")
+	comm.Add("PB", basePB.PB.String(), accelPB.PB.String(),
+		fmt.Sprintf("-%.0f%%", 100*(1-float64(accelPB.PB)/float64(basePB.PB))))
+	comm.Add("RS", baseRS.RS.String(), accelRS.RS.String(),
+		fmt.Sprintf("-%.0f%%", 100*(1-float64(accelRS.RS)/float64(baseRS.RS))))
+	fmt.Println()
+	fmt.Print(comm)
+
+	big := exp.NewTable("Large-scale HPL (analytic model, §V-B2)",
+		"grid", "baseline JCT(s)", "cepheus JCT(s)", "gain")
+	for _, g := range []int{8, 32, 128} {
+		cfg := hpl.Config{N: 65536, NB: 256, P: g, Q: g, GFlops: 800}
+		b := hpl.Analytic(cfg, hpl.RingModel, hpl.LongModel)
+		a := hpl.Analytic(cfg, hpl.CepheusModel, hpl.CepheusModel)
+		big.Add(fmt.Sprintf("%dx%d", g, g),
+			fmt.Sprintf("%.2f", b.JCTSeconds), fmt.Sprintf("%.2f", a.JCTSeconds),
+			fmt.Sprintf("-%.1f%%", 100*(1-a.JCTSeconds/b.JCTSeconds)))
+	}
+	fmt.Println()
+	fmt.Print(big)
+}

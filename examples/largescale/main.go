@@ -1,0 +1,46 @@
+// Large-scale multicast (§V-C, Fig 12): a 512-receiver group on the
+// 1024-server fat-tree, Cepheus versus Chain and Binomial Tree across flow
+// sizes. Large flows use the DESIGN.md §1 cell-size rule to keep the
+// packet-level simulation tractable.
+package main
+
+import (
+	"fmt"
+
+	cepheus "repro"
+	"repro/internal/exp"
+	"repro/internal/roce"
+)
+
+func main() {
+	const groupSize = 512
+	nodes := make([]int, groupSize+1)
+	for i := range nodes {
+		nodes[i] = i // 513 hosts span 9 of the 16 pods
+	}
+	table := exp.NewTable("Fig 12: FCT of a 512-scale multicast (1024-host fat-tree)",
+		"size", "cepheus", "chain-4", "binomial", "vs chain", "vs BT")
+
+	for _, size := range []int{64, 64 << 10, 16 << 20} {
+		jct := func(scheme cepheus.Scheme) float64 {
+			tr := roce.DefaultConfig()
+			tr.DCQCN = true // the paper's ns-3 setup runs go-back-N + DCQCN
+			exp.ApplyCell(&tr.MTU, &tr.WindowPkts, size, tr.MTU, 2048)
+			c := cepheus.NewFatTree(16, cepheus.Options{Transport: &tr})
+			b, err := c.Broadcaster(scheme, nodes, groupSize)
+			if err != nil {
+				panic(err)
+			}
+			return float64(c.RunBcast(b, 0, size))
+		}
+		ceph := jct(cepheus.SchemeCepheus)
+		chain := jct(cepheus.SchemeChain)
+		bt := jct(cepheus.SchemeBinomial)
+		table.Add(exp.FormatBytes(size),
+			fmt.Sprintf("%.1fus", ceph/1e3), fmt.Sprintf("%.1fus", chain/1e3),
+			fmt.Sprintf("%.1fus", bt/1e3),
+			fmt.Sprintf("%.1fx", chain/ceph), fmt.Sprintf("%.1fx", bt/ceph))
+		fmt.Println("finished", exp.FormatBytes(size))
+	}
+	fmt.Print(table)
+}

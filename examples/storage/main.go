@@ -1,0 +1,40 @@
+// Storage replication (§V-B1): three-replica writing with the default
+// 3-unicasts path versus Cepheus multicast WRITE, reproducing Table I
+// (IOPS) and Fig 10 (single IO latency).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func main() {
+	iops := exp.NewTable("Table I: 8KB replication writing throughput",
+		"scheme", "IOPS(M)", "goodput(Gbps)")
+	for _, mode := range []storage.Mode{storage.Unicast1, storage.UnicastN, storage.CepheusWrite} {
+		c := storage.NewCluster(sim.New(1), mode, storage.DefaultConfig())
+		rate := c.RunIOPS(8<<10, 64, 20*sim.Millisecond)
+		iops.Add(mode.String(),
+			fmt.Sprintf("%.3f", rate/1e6),
+			fmt.Sprintf("%.1f", rate*8*1024*8/1e9))
+	}
+	fmt.Print(iops)
+
+	lat := exp.NewTable("Fig 10: single IO latency",
+		"IO size", "1-unicast", "3-unicasts", "cepheus", "cepheus vs 3-unicasts")
+	for _, size := range []int{4 << 10, 8 << 10, 64 << 10, 256 << 10, 512 << 10} {
+		var vals []sim.Time
+		for _, mode := range []storage.Mode{storage.Unicast1, storage.UnicastN, storage.CepheusWrite} {
+			c := storage.NewCluster(sim.New(1), mode, storage.DefaultConfig())
+			vals = append(vals, c.MeasureLatency(size, 20))
+		}
+		reduction := 100 * (1 - float64(vals[2])/float64(vals[1]))
+		lat.Add(exp.FormatBytes(size), vals[0].String(), vals[1].String(), vals[2].String(),
+			fmt.Sprintf("-%.0f%%", reduction))
+	}
+	fmt.Println()
+	fmt.Print(lat)
+}

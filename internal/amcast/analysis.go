@@ -1,0 +1,60 @@
+package amcast
+
+import "math"
+
+// Analysis reproduces Fig 1d: the analytic comparison of multicast schemes
+// for a 1-to-N transfer on a two-level tree (sender and receivers under
+// leaf switches, as drawn in Fig 1a-c).
+type Analysis struct {
+	Scheme string
+	// TotalHops is the number of link traversals summed over all copies of
+	// the data.
+	TotalHops int
+	// SenderCopies is how many times the sender transmits the message
+	// (the outbound bandwidth bottleneck factor).
+	SenderCopies int
+	// StackTraversals is how many end-host stacks the data crosses on the
+	// longest path (latency-relevant).
+	StackTraversals int
+	// Steps is the number of sequential relay steps on the critical path.
+	Steps int
+}
+
+// AnalyzeFig1d returns the Fig 1d rows for a 1-to-n multicast where each
+// host is hops links away from the replication point (hops=2 in the
+// figure's two-switch diagram).
+func AnalyzeFig1d(n, hops int) []Analysis {
+	logN := int(math.Ceil(math.Log2(float64(n + 1))))
+	return []Analysis{
+		{
+			// Native multicast / Cepheus: one copy up, replicated as late
+			// as possible; hop count is the MDT edge count.
+			Scheme:          "nmcast/cepheus",
+			TotalHops:       hops + n, // shared trunk + one leaf edge per receiver (best case)
+			SenderCopies:    1,
+			StackTraversals: 2, // sender stack + receiver stack
+			Steps:           1,
+		},
+		{
+			Scheme:          "n-unicast",
+			TotalHops:       n * 2 * hops,
+			SenderCopies:    n,
+			StackTraversals: 2,
+			Steps:           1,
+		},
+		{
+			Scheme:          "binomial-tree",
+			TotalHops:       n * 2 * hops,
+			SenderCopies:    logN,
+			StackTraversals: 1 + logN, // relays re-enter a host stack each round
+			Steps:           logN,
+		},
+		{
+			Scheme:          "chain",
+			TotalHops:       n * 2 * hops,
+			SenderCopies:    1,
+			StackTraversals: 1 + n, // every node in the chain
+			Steps:           n,
+		},
+	}
+}

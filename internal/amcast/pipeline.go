@@ -1,0 +1,186 @@
+package amcast
+
+import (
+	"fmt"
+
+	"repro/internal/roce"
+)
+
+// RDMC approximates RDMC's binomial pipeline (Behrens et al., DSN'18): the
+// message is split into blocks, and in synchronized steps every node
+// exchanges with its XOR partner the lowest-index block the partner lacks.
+// Large transfers approach full bisection use after the log2(N) ramp-up,
+// but every byte still crosses end-host stacks at every relay — which is
+// why the paper's Cepheus beats it on 256MB (§V-A).
+type RDMC struct {
+	C      *Comm
+	Blocks int
+}
+
+func (r RDMC) Name() string { return fmt.Sprintf("rdmc-%d", r.Blocks) }
+
+func (r RDMC) Bcast(root, size int, done func()) {
+	n := len(r.C.Nodes)
+	if n == 1 {
+		done()
+		return
+	}
+	blocks := r.Blocks
+	if blocks < 1 {
+		blocks = 1
+	}
+	if blocks > size {
+		blocks = size
+	}
+	blockSize := func(b int) int {
+		base := size / blocks
+		if b < size%blocks {
+			base++
+		}
+		return base
+	}
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	has := make([][]bool, n)
+	for i := range has {
+		has[i] = make([]bool, blocks)
+	}
+	for b := 0; b < blocks; b++ {
+		has[root][b] = true
+	}
+	allDone := func() bool {
+		for i := 0; i < n; i++ {
+			for b := 0; b < blocks; b++ {
+				if !has[i][b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	type pairKey [2]int
+	inFlight := make(map[pairKey][]int) // FIFO of block ids per (src,dst)
+	pending := 0
+	step := 0
+
+	var runStep func()
+	r.C.begin(func(dst, src int, m roce.Message) {
+		key := pairKey{src, dst}
+		q := inFlight[key]
+		b := q[0]
+		inFlight[key] = q[1:]
+		has[dst][b] = true
+		pending--
+		if pending == 0 {
+			if allDone() {
+				r.C.end()
+				done()
+				return
+			}
+			step++
+			runStep()
+		}
+	})
+
+	runStep = func() {
+		// Guard against pathological no-progress loops.
+		for tries := 0; tries <= 4*d; tries++ {
+			for i := 0; i < n; i++ {
+				j := i ^ (1 << (step % d))
+				if j >= n || j <= i {
+					continue
+				}
+				// Bidirectional exchange: each side sends the lowest block
+				// the other lacks.
+				for _, dir := range [2][2]int{{i, j}, {j, i}} {
+					from, to := dir[0], dir[1]
+					for b := 0; b < blocks; b++ {
+						if has[from][b] && !has[to][b] {
+							inFlight[pairKey{from, to}] = append(inFlight[pairKey{from, to}], b)
+							pending++
+							r.C.send(from, to, blockSize(b))
+							break
+						}
+					}
+				}
+			}
+			if pending > 0 {
+				return
+			}
+			step++
+		}
+		panic("amcast: rdmc schedule made no progress")
+	}
+	runStep()
+}
+
+// Long is the bandwidth-optimal scatter + ring-allgather broadcast
+// (Van de Geijn), the algorithm HPL's documentation recommends for the
+// row-swap ("long") phase. The root scatters N chunks to their home nodes;
+// each chunk then circulates the ring until it has visited everyone.
+type Long struct{ C *Comm }
+
+func (Long) Name() string { return "long" }
+
+func (l Long) Bcast(root, size int, done func()) {
+	n := len(l.C.Nodes)
+	if n == 1 {
+		done()
+		return
+	}
+	chunkSize := func(c int) int {
+		base := size / n
+		if c < size%n {
+			base++
+		}
+		if base == 0 {
+			base = 1
+		}
+		return base
+	}
+	next := func(i int) int { return (i + 1) % n }
+
+	type pairKey [2]int
+	inFlight := make(map[pairKey][]int)
+	total := (n - 1) + n*(n-1) // scatter deliveries + ring deliveries
+	received := 0
+
+	sendChunk := func(from, to, c int) {
+		inFlight[pairKey{from, to}] = append(inFlight[pairKey{from, to}], c)
+		l.C.send(from, to, chunkSize(c))
+	}
+
+	// forward decides the ring continuation for chunk c arriving at node i.
+	forward := func(i, c int) {
+		if next(i) != c { // stop before revisiting the chunk's home
+			sendChunk(i, next(i), c)
+		}
+	}
+
+	l.C.begin(func(dst, src int, m roce.Message) {
+		key := pairKey{src, dst}
+		q := inFlight[key]
+		c := q[0]
+		inFlight[key] = q[1:]
+		received++
+		if received == total {
+			l.C.end()
+			done()
+			return
+		}
+		forward(dst, c)
+	})
+
+	// Phase 1: scatter chunk c to its home node c (root keeps its own and
+	// starts its ring leg immediately).
+	for c := 0; c < n; c++ {
+		if c == root {
+			continue
+		}
+		sendChunk(root, c, c)
+	}
+	forward(root, root)
+}

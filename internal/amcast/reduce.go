@@ -1,0 +1,177 @@
+package amcast
+
+import (
+	"repro/internal/core"
+	"repro/internal/roce"
+)
+
+// Reducer is a many-to-one collective: every node contributes size bytes
+// and a partial value; done fires at the root with the group aggregate.
+// This is the MPI-Reduce-shaped primitive the paper names as future work;
+// the Cepheus implementation aggregates in-network (see internal/core's
+// reduction extension), the baselines gather over unicast.
+type Reducer interface {
+	Name() string
+	Reduce(root, size int, value func(rank int) float64, done func(total float64))
+}
+
+// CepheusReduce runs the reduction over a registered group's MDT. The tree
+// orientation follows the current multicast source, so the root must have
+// been the group's most recent sender (Prime arranges that).
+type CepheusReduce struct {
+	Group *core.Group
+
+	lastRoot int
+	primed   bool
+}
+
+func (*CepheusReduce) Name() string { return "cepheus-reduce" }
+
+// Prime orients the MDT at root by running a minimal multicast from it
+// (with PSN synchronization if the source moves). It completes when every
+// member delivered the priming message.
+func (c *CepheusReduce) Prime(root int, done func()) {
+	if c.primed && c.lastRoot == root {
+		done()
+		return
+	}
+	if c.primed && c.lastRoot != root {
+		// Moving the reduction root: contributors' and the old root's PSN
+		// lines have diverged, so the whole group realigns (SyncAllPSN)
+		// rather than the pairwise §III-E sync.
+		c.Group.SyncAllPSN()
+	}
+	c.lastRoot = root
+	c.primed = true
+	members := c.Group.Members
+	remaining := len(members) - 1
+	for i, m := range members {
+		if i == root {
+			continue
+		}
+		m.QP.OnMessage = func(roce.Message) {
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		}
+	}
+	members[root].QP.PostSend(64, nil)
+}
+
+// Reduce posts every member's contribution; the fabric combines them and
+// the root's QP delivers one message carrying the aggregate (plus the
+// root's own local value, added here as MPI-Reduce does).
+func (c *CepheusReduce) Reduce(root, size int, value func(rank int) float64, done func(total float64)) {
+	run := func() {
+		members := c.Group.Members
+		members[root].QP.OnMessage = func(m roce.Message) {
+			done(m.Value + value(root))
+		}
+		for i, m := range members {
+			if i == root {
+				continue
+			}
+			m.QP.PostReduce(size, value(i), nil)
+		}
+	}
+	if !c.primed || c.lastRoot != root {
+		c.Prime(root, run)
+		return
+	}
+	run()
+}
+
+// GatherReduce is the AMcast baseline: every node unicasts its
+// contribution to the root, which folds them in software — n-1 incasting
+// flows on the root's link, the dual of n-unicast broadcast.
+type GatherReduce struct{ C *Comm }
+
+func (GatherReduce) Name() string { return "gather-reduce" }
+
+func (g GatherReduce) Reduce(root, size int, value func(rank int) float64, done func(total float64)) {
+	n := len(g.C.Nodes)
+	total := value(root)
+	remaining := n - 1
+	if remaining == 0 {
+		done(total)
+		return
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = value(i)
+	}
+	g.C.begin(func(dst, src int, m roce.Message) {
+		total += vals[src]
+		remaining--
+		if remaining == 0 {
+			g.C.end()
+			done(total)
+		}
+	})
+	for i := 0; i < n; i++ {
+		if i != root {
+			g.C.send(i, root, size)
+		}
+	}
+}
+
+// AllReduce composes a reduction with a broadcast of the result — the
+// MPI-Allreduce shape, here built from the two Cepheus primitives (or any
+// baseline pair). done fires when every node holds the aggregate.
+func AllReduce(r Reducer, b Broadcaster, root, size int, value func(rank int) float64, done func(total float64)) {
+	r.Reduce(root, size, value, func(total float64) {
+		b.Bcast(root, size, func() { done(total) })
+	})
+}
+
+// BinomialReduce is the tree baseline: ranks fold their subtree's partial
+// before forwarding, log2(N) levels of software aggregation.
+type BinomialReduce struct{ C *Comm }
+
+func (BinomialReduce) Name() string { return "binomial-reduce" }
+
+func (b BinomialReduce) Reduce(root, size int, value func(rank int) float64, done func(total float64)) {
+	n := len(b.C.Nodes)
+	if n == 1 {
+		done(value(root))
+		return
+	}
+	abs := func(rank int) int { return (rank + root) % n }
+	// partial[r] accumulates rank r's subtree; pending[r] counts children
+	// not yet heard from.
+	partial := make([]float64, n)
+	pending := make([]int, n)
+	parent := make([]int, n)
+	for r := 0; r < n; r++ {
+		partial[r] = value(abs(r))
+		if r != 0 {
+			// Parent clears the lowest set bit.
+			parent[r] = r & (r - 1)
+			pending[parent[r]]++
+		}
+	}
+	// Leaves send immediately; internal ranks wait for their children.
+	sendUp := func(r int) {
+		b.C.send(abs(r), abs(parent[r]), size)
+	}
+	b.C.begin(func(dst, src int, m roce.Message) {
+		r := (dst - root + n) % n
+		child := (src - root + n) % n
+		partial[r] += partial[child]
+		pending[r]--
+		if pending[r] == 0 {
+			if r == 0 {
+				b.C.end()
+				done(partial[0])
+				return
+			}
+			sendUp(r)
+		}
+	})
+	for r := 1; r < n; r++ {
+		if pending[r] == 0 {
+			sendUp(r)
+		}
+	}
+}

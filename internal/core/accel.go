@@ -1,0 +1,453 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// AccelConfig tunes one switch's accelerator.
+type AccelConfig struct {
+	// MaxGroups bounds the number of MFTs; registration beyond it is
+	// rejected, which exercises the safeguard fallback (§V-D).
+	MaxGroups int
+
+	// CNPAgingPeriod is the decay period of the per-port congestion
+	// counters used by CNP filtering.
+	CNPAgingPeriod sim.Time
+
+	// NackHoldoff suppresses duplicate NACK emissions for the same ePSN
+	// within this window, while the retransmission is already in flight.
+	NackHoldoff sim.Time
+
+	// DisableRetransFilter turns off §III-D's duplicate-retransmission
+	// filtering (ablation).
+	DisableRetransFilter bool
+
+	// DisableCNPFilter forwards every CNP instead of only those from the
+	// most congested path (ablation).
+	DisableCNPFilter bool
+
+	// NaiveAckForwarding disables the trigger condition and emits an
+	// aggregated ACK on every feedback arrival that advances the minimum
+	// (ablation for the ACK-exploding mitigation).
+	NaiveAckForwarding bool
+}
+
+// DefaultAccelConfig returns the prototype's configuration.
+func DefaultAccelConfig() AccelConfig {
+	return AccelConfig{
+		MaxGroups:      1024,
+		CNPAgingPeriod: 200 * sim.Microsecond,
+		NackHoldoff:    20 * sim.Microsecond,
+	}
+}
+
+// AccelStats counts accelerator activity, per switch.
+type AccelStats struct {
+	DataIn          uint64
+	DataReplicated  uint64
+	DataBridged     uint64
+	RetransFiltered uint64
+	AcksIn          uint64
+	AcksEmitted     uint64
+	NacksIn         uint64
+	NacksEmitted    uint64
+	CNPsIn          uint64
+	CNPsForwarded   uint64
+	CNPsFiltered    uint64
+	MRPProcessed    uint64
+	MRPRejected     uint64
+	Reduce          ReduceStats
+}
+
+// Accel is the Cepheus accelerator attached to one switch. The paper
+// implements it as an FPGA board on four spare ports with ACL redirection;
+// here it sits inline in the switch pipeline (a substitution recorded in
+// DESIGN.md §1). It implements simnet.SwitchHook.
+type Accel struct {
+	Cfg   AccelConfig
+	Stats AccelStats
+
+	sw      *simnet.Switch
+	mfts    map[simnet.Addr]*MFT
+	reduces map[simnet.Addr]*reduceState
+
+	// mgLoad counts how many groups route through each port, for the
+	// group-level load balancing MRP performs when picking among ECMP
+	// candidates (§III-C).
+	mgLoad []int
+}
+
+// Attach creates an accelerator and installs it on the switch.
+func Attach(sw *simnet.Switch, cfg AccelConfig) *Accel {
+	a := &Accel{Cfg: cfg, sw: sw, mfts: make(map[simnet.Addr]*MFT)}
+	sw.Hook = a
+	return a
+}
+
+// MFT returns the switch's table for a group, or nil.
+func (a *Accel) MFT(id simnet.Addr) *MFT { return a.mfts[id] }
+
+// Groups returns how many MFTs the switch currently holds.
+func (a *Accel) Groups() int { return len(a.mfts) }
+
+// MemoryBytes totals the modeled MFT memory on this switch.
+func (a *Accel) MemoryBytes() int {
+	total := 0
+	for _, m := range a.mfts {
+		total += m.MemoryBytes()
+	}
+	return total
+}
+
+// Handle implements simnet.SwitchHook. Cepheus traffic is classified by a
+// multicast destination (data, feedback and MRP all carry dstIP = McstID
+// once inside the fabric); everything else falls through to unicast
+// forwarding.
+func (a *Accel) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) bool {
+	if p.Type == simnet.MRP && p.Dst.IsMulticast() {
+		a.handleMRP(p, in)
+		return true
+	}
+	if !p.Dst.IsMulticast() {
+		return false
+	}
+	mft := a.mfts[p.Dst]
+	if mft == nil {
+		// No registration reached this switch: the group is unknown, drop.
+		return true
+	}
+	switch p.Type {
+	case simnet.Data:
+		if p.Reduce {
+			// Many-to-one contribution flowing up toward the root.
+			if in.ID != mft.AckOutPort {
+				a.handleReduce(mft, p, in)
+			}
+			return true
+		}
+		a.handleData(mft, p, in)
+	case simnet.Ack:
+		if in.ID == mft.AckOutPort {
+			// Root-side feedback for a reduction: replicate down.
+			a.replicateFeedbackDown(mft, p, in)
+			return true
+		}
+		a.handleAck(mft, p, in)
+	case simnet.Nack:
+		if in.ID == mft.AckOutPort {
+			a.replicateFeedbackDown(mft, p, in)
+			return true
+		}
+		a.handleNack(mft, p, in)
+	case simnet.CNP:
+		if in.ID == mft.AckOutPort {
+			a.replicateFeedbackDown(mft, p, in)
+			return true
+		}
+		a.handleCNP(mft, p, in)
+	default:
+		return false
+	}
+	return true
+}
+
+// ---- MRP registration (§III-C) ----
+
+func (a *Accel) handleMRP(p *simnet.Packet, in *simnet.Port) {
+	pay := p.Meta.(*MRPPayload)
+	a.Stats.MRPProcessed++
+	mft := a.mfts[pay.McstID]
+	if mft == nil {
+		if a.Cfg.MaxGroups > 0 && len(a.mfts) >= a.Cfg.MaxGroups {
+			a.Stats.MRPRejected++
+			a.reject(pay, "switch "+a.sw.Name+": MFT capacity exhausted")
+			return
+		}
+		mft = NewMFT(pay.McstID, a.sw.NumPorts())
+		a.mfts[pay.McstID] = mft
+	}
+	if a.mgLoad == nil {
+		a.mgLoad = make([]int, a.sw.NumPorts())
+	}
+
+	// The arrival port joins the MDT: it is the upstream path toward the
+	// registration root. Marking it keeps the tree floodable from any
+	// entry point, which is what source switching relies on.
+	mft.EnsureEntry(in.ID)
+
+	// Route every node record, grouping downstream forwards per port.
+	downstream := make(map[int][]NodeInfo)
+	for _, n := range pay.Nodes {
+		port, direct := a.routeNode(mft, n)
+		e := mft.EnsureEntry(port)
+		if direct {
+			e.NextIsHost = true
+			e.DstIP = n.IP
+			e.DstQP = n.QPN
+			e.WVA = n.WVA
+			e.WRKey = n.WRKey
+		}
+		downstream[port] = append(downstream[port], n)
+	}
+	for port, nodes := range downstream {
+		if port == in.ID {
+			continue // never reflect registration back upstream
+		}
+		np := newMRPPacket(p.Src, &MRPPayload{
+			McstID: pay.McstID, Seq: pay.Seq, Total: pay.Total,
+			CtrlIP: pay.CtrlIP, Nodes: nodes,
+		})
+		a.sw.Output(np, port, in)
+	}
+}
+
+// routeNode finds the multicast routing port for one node: the directly
+// connected port if the node is attached here; otherwise an ECMP candidate,
+// preferring a port already in the MDT (delaying replication saves
+// bandwidth), and breaking ties toward the port least used by other groups.
+func (a *Accel) routeNode(mft *MFT, n NodeInfo) (port int, direct bool) {
+	for _, pt := range a.sw.Ports {
+		if h, ok := pt.Peer.Dev.(*simnet.Host); ok && h.IP == n.IP {
+			return pt.ID, true
+		}
+	}
+	cands := a.sw.FIB[n.IP]
+	if len(cands) == 0 {
+		panic("core: " + a.sw.Name + " has no route to member " + n.IP.String())
+	}
+	for _, c := range cands {
+		if mft.InMDT(c) {
+			return c, false
+		}
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if a.mgLoad[c] < a.mgLoad[best] {
+			best = c
+		}
+	}
+	a.mgLoad[best]++
+	return best, false
+}
+
+// reject sends an MRPReject to the controller via unicast forwarding.
+func (a *Accel) reject(pay *MRPPayload, reason string) {
+	rp := &simnet.Packet{
+		Type: simnet.MRPReject, Src: pay.McstID, Dst: pay.CtrlIP,
+		Payload: 64,
+		Meta:    &confirmPayload{McstID: pay.McstID, Reason: reason},
+	}
+	a.sw.Forward(rp, nil)
+}
+
+// ---- data replication and connection bridging (§III-B2) ----
+
+func (a *Accel) handleData(mft *MFT, p *simnet.Packet, in *simnet.Port) {
+	a.Stats.DataIn++
+	if mft.AckOutPort != in.ID || mft.SrcIP != p.Src {
+		if mft.SrcIP != 0 && mft.SrcIP != p.Src {
+			mft.SourceSwitches++
+		}
+		mft.AckOutPort = in.ID
+		mft.SrcIP = p.Src
+		mft.SrcQP = p.SrcQP
+		// Re-arm the aggregation trigger: the previous minimum owner may be
+		// the port that just became the source-facing path, which never
+		// carries ACKs; leaving TriPort there would stall aggregation until
+		// the sender's safeguard timeout.
+		mft.TriPort = -1
+	}
+	psn := int64(p.PSN)
+	copies := 0
+	for _, e := range mft.Paths {
+		if e.Port == in.ID {
+			continue
+		}
+		// Retransmit filtering: paths that already acknowledged this PSN
+		// must not see it again (§III-D).
+		if !a.Cfg.DisableRetransFilter && e.AckPSN != ackNone && psn <= e.AckPSN {
+			a.Stats.RetransFiltered++
+			continue
+		}
+		q := p.Clone()
+		if e.NextIsHost {
+			// Connection bridging (Fig 4): match the receiver's QP and
+			// redirect feedback into the MFT via srcIP = McstID.
+			q.Dst = e.DstIP
+			q.DstQP = e.DstQP
+			q.Src = mft.McstID
+			if q.WriteVA != 0 || q.WriteRKey != 0 {
+				q.WriteVA = e.WVA
+				q.WriteRKey = e.WRKey
+			}
+			a.Stats.DataBridged++
+		}
+		copies++
+		a.sw.Output(q, e.Port, in)
+	}
+	if copies > 1 {
+		a.Stats.DataReplicated += uint64(copies - 1)
+	}
+	if copies == 0 && p.Retrans {
+		// Every path already acknowledged this retransmission: regenerate
+		// the aggregate so a sender stalled on a lost/step-skipped ACK
+		// makes progress instead of retransmitting forever.
+		a.tryEmit(mft)
+	}
+}
+
+// ---- feedback handling (§III-D) ----
+
+func (a *Accel) handleAck(mft *MFT, p *simnet.Packet, in *simnet.Port) {
+	a.Stats.AcksIn++
+	e := mft.Entry(in.ID)
+	if e == nil {
+		return // feedback from outside the MDT: drop
+	}
+	psn := int64(p.PSN)
+	if e.AckPSN == ackNone || psn > e.AckPSN {
+		e.AckPSN = psn
+	}
+	if a.Cfg.NaiveAckForwarding {
+		// Ablation: forward an aggregate on every incoming ACK, with no
+		// dedup — the "ACK exploding" behaviour the trigger condition
+		// exists to prevent.
+		if min, argmin, ok := mft.MinAck(); ok && min >= 0 {
+			mft.AggAckPSN, mft.AggValid, mft.TriPort = min, true, argmin
+			a.Stats.AcksEmitted++
+			a.emitFeedback(mft, &simnet.Packet{
+				Type: simnet.Ack, Src: mft.McstID, Dst: mft.McstID, PSN: uint64(min),
+			})
+		}
+		return
+	}
+	// Trigger Condition: only an ACK on the port that owned the minimum at
+	// the last emission (triPort) can trigger a new aggregated ACK, and
+	// only if it advances past AggAckPSN. This is what keeps the sender's
+	// ACK count low (the ACK-exploding mitigation).
+	if mft.TriPort == -1 || (in.ID == mft.TriPort && (!mft.AggValid || psn > mft.AggAckPSN)) {
+		a.tryEmit(mft)
+	}
+}
+
+func (a *Accel) handleNack(mft *MFT, p *simnet.Packet, in *simnet.Port) {
+	a.Stats.NacksIn++
+	e := mft.Entry(in.ID)
+	if e == nil {
+		return
+	}
+	// A NACK with ePSN acknowledges everything below ePSN.
+	acked := int64(p.PSN) - 1
+	if e.AckPSN == ackNone || acked > e.AckPSN {
+		e.AckPSN = acked
+	}
+	if !mft.MeValid || int64(p.PSN) < mft.MePSN {
+		mft.MePSN = int64(p.PSN)
+		mft.MeValid = true
+	}
+	a.tryEmit(mft)
+}
+
+// tryEmit re-evaluates the group's aggregate state and emits at most one
+// feedback packet toward the source: a NACK when every surviving path has
+// acknowledged exactly up to the lost packet (preventing NACK
+// inter-covering), otherwise an aggregated ACK when the minimum advanced.
+func (a *Accel) tryEmit(mft *MFT) {
+	min, argmin, ok := mft.MinAck()
+	if !ok {
+		return
+	}
+	// Re-point the trigger at whichever port owns the minimum now. Doing
+	// this on every evaluation (not only on emission) keeps the scheme
+	// live when the straggler rotates between ports at a message tail.
+	mft.TriPort = argmin
+	now := a.sw.Engine().Now()
+	if mft.MeValid && min+1 == mft.MePSN {
+		dup := mft.MePSN == mft.lastNackPSN && now-mft.lastNackAt < a.Cfg.NackHoldoff
+		if !dup {
+			mft.lastNackPSN, mft.lastNackAt = mft.MePSN, now
+			mft.AggAckPSN, mft.AggValid, mft.TriPort = min, true, argmin
+			a.Stats.NacksEmitted++
+			a.emitFeedback(mft, &simnet.Packet{
+				Type: simnet.Nack, Src: mft.McstID, Dst: mft.McstID,
+				PSN: uint64(mft.MePSN),
+			})
+		}
+		// Discard the history either way: the NACK for this ePSN is out
+		// (or suppressed as an in-flight duplicate).
+		mft.MeValid = false
+		return
+	}
+	if min < 0 {
+		return // paths alive but nothing acknowledged yet
+	}
+	if mft.AggValid && min <= mft.AggAckPSN {
+		return
+	}
+	mft.AggAckPSN, mft.AggValid, mft.TriPort = min, true, argmin
+	a.Stats.AcksEmitted++
+	a.emitFeedback(mft, &simnet.Packet{
+		Type: simnet.Ack, Src: mft.McstID, Dst: mft.McstID,
+		PSN: uint64(min),
+	})
+}
+
+func (a *Accel) handleCNP(mft *MFT, p *simnet.Packet, in *simnet.Port) {
+	a.Stats.CNPsIn++
+	a.ageCNP(mft)
+	mft.CNPCount[in.ID]++
+	if !a.Cfg.DisableCNPFilter {
+		// Pass only CNPs from the most congested link, so DCQCN matches
+		// the sending rate to the most congested path (single-rate scheme).
+		max, argmax := 0.0, -1
+		for port, c := range mft.CNPCount {
+			if c > max {
+				max, argmax = c, port
+			}
+		}
+		if argmax != in.ID {
+			a.Stats.CNPsFiltered++
+			return
+		}
+	}
+	a.Stats.CNPsForwarded++
+	a.emitFeedback(mft, p.Clone())
+}
+
+// ageCNP decays the congestion counters so the filter tracks changing
+// network dynamics.
+func (a *Accel) ageCNP(mft *MFT) {
+	now := a.sw.Engine().Now()
+	if now-mft.lastAging < a.Cfg.CNPAgingPeriod {
+		return
+	}
+	elapsed := now - mft.lastAging
+	mft.lastAging = now
+	halvings := int(elapsed / a.Cfg.CNPAgingPeriod)
+	if halvings > 30 {
+		halvings = 30
+	}
+	factor := 1.0 / float64(int64(1)<<uint(halvings))
+	for i := range mft.CNPCount {
+		mft.CNPCount[i] *= factor
+		if mft.CNPCount[i] < 0.01 {
+			mft.CNPCount[i] = 0
+		}
+	}
+}
+
+// emitFeedback sends a feedback packet toward the source through
+// AckOutPort. If the source is directly attached there, this switch is the
+// final hop and rewrites the header to the source's real connection.
+func (a *Accel) emitFeedback(mft *MFT, p *simnet.Packet) {
+	if mft.AckOutPort < 0 {
+		return // no data seen yet; nowhere to send feedback
+	}
+	out := a.sw.Ports[mft.AckOutPort]
+	if out.PeerIsHost() {
+		p.Dst = mft.SrcIP
+		p.DstQP = mft.SrcQP
+	}
+	a.sw.Output(p, mft.AckOutPort, nil)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/roce"
+	"repro/internal/simnet"
+)
+
+// propEnv drives the ToR accelerator directly with synthetic feedback and
+// captures what reaches the sender, so aggregation invariants can be
+// checked against arbitrary interleavings.
+type propEnv struct {
+	*env
+	accel *Accel
+	mft   *MFT
+	// captured feedback at the sender host, in arrival order
+	acks  []uint64
+	nacks []uint64
+}
+
+func newPropEnv(t *testing.T) *propEnv {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	// Prime with one packet so AckOutPort and source identity are set.
+	runMulticast(t, e, 0, 1024)
+	p := &propEnv{env: e, accel: e.accels[0], mft: e.accels[0].MFT(e.group.ID)}
+	orig := e.net.Hosts[0].Handler
+	e.net.Hosts[0].Handler = func(pk *simnet.Packet) {
+		switch pk.Type {
+		case simnet.Ack:
+			p.acks = append(p.acks, pk.PSN)
+		case simnet.Nack:
+			p.nacks = append(p.nacks, pk.PSN)
+		}
+		orig(pk)
+	}
+	return p
+}
+
+func (p *propEnv) feedAck(member int, psn uint64) {
+	in := p.net.Hosts[member].NIC.Peer
+	p.accel.Handle(p.net.Switches[0], &simnet.Packet{
+		Type: simnet.Ack, Src: p.net.Hosts[member].IP, Dst: p.group.ID, PSN: psn,
+	}, in)
+	p.eng.RunFor(10_000) // drain wire events
+}
+
+func (p *propEnv) feedNack(member int, ePSN uint64) {
+	in := p.net.Hosts[member].NIC.Peer
+	p.accel.Handle(p.net.Switches[0], &simnet.Packet{
+		Type: simnet.Nack, Src: p.net.Hosts[member].IP, Dst: p.group.ID, PSN: ePSN,
+	}, in)
+	p.eng.RunFor(10_000)
+}
+
+// TestAggregationInvariantRandom drives random per-receiver cumulative ACK
+// progressions and checks, after every step:
+//  1. aggregated ACKs reaching the sender are strictly increasing;
+//  2. no aggregated ACK ever exceeds the true minimum across receivers
+//     (never acknowledge what some receiver lacks — the safety property).
+func TestAggregationInvariantRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := newPropEnv(t)
+		rng := rand.New(rand.NewSource(seed))
+		// Receiver progress starts at 0 (psn 0 acked during priming).
+		progress := []uint64{0, 0, 0} // members 1..3
+		for step := 0; step < 200; step++ {
+			m := rng.Intn(3)
+			progress[m] += uint64(rng.Intn(5))
+			p.feedAck(m+1, progress[m])
+			trueMin := progress[0]
+			for _, v := range progress[1:] {
+				if v < trueMin {
+					trueMin = v
+				}
+			}
+			for i, a := range p.acks {
+				if i > 0 && a <= p.acks[i-1] {
+					t.Fatalf("seed %d: non-increasing agg ACKs %v", seed, p.acks)
+				}
+				if a > trueMin {
+					t.Fatalf("seed %d step %d: agg ACK %d exceeds true min %d (progress %v)",
+						seed, step, a, trueMin, progress)
+				}
+			}
+		}
+		// Liveness: after everyone reaches the same final PSN, the sender
+		// must have seen it.
+		final := progress[0]
+		for _, v := range progress[1:] {
+			if v > final {
+				final = v
+			}
+		}
+		for m := range progress {
+			p.feedAck(m+1, final)
+		}
+		if len(p.acks) == 0 || p.acks[len(p.acks)-1] != final {
+			t.Fatalf("seed %d: final agg ACK %v, want %d", seed, p.acks, final)
+		}
+	}
+}
+
+// TestNackInvariantRandom injects a NACK into a random ACK interleaving and
+// checks the safety property: when NACK(e) reaches the sender, every
+// receiver path has acknowledged at least e-1 — so the NACK can never
+// cover an earlier, unrepaired loss.
+func TestNackInvariantRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := newPropEnv(t)
+		rng := rand.New(rand.NewSource(seed + 100))
+		progress := []uint64{0, 0, 0}
+		loser := rng.Intn(3)
+		lossAt := uint64(10 + rng.Intn(20))
+		nackSent := false
+		for step := 0; step < 300; step++ {
+			m := rng.Intn(3)
+			if m == loser {
+				if progress[m] == lossAt-1 {
+					// The loser is stuck at the gap: it keeps NACKing.
+					if !nackSent || rng.Intn(4) == 0 {
+						p.feedNack(m+1, lossAt)
+						nackSent = true
+					}
+					continue
+				}
+				// Cumulative progress stops just short of the lost packet.
+				progress[m] += uint64(1 + rng.Intn(4))
+				if progress[m] > lossAt-1 {
+					progress[m] = lossAt - 1
+				}
+			} else {
+				progress[m] += uint64(1 + rng.Intn(4))
+			}
+			p.feedAck(m+1, progress[m])
+		}
+		for _, e := range p.nacks {
+			if e != lossAt {
+				t.Fatalf("seed %d: sender saw NACK(%d), only %d was lost", seed, e, lossAt)
+			}
+			// Safety: at emission time every non-loser had acked >= e-1.
+			// Since non-losers only ever acked their own progress, check
+			// the recorded entries.
+			for _, pe := range p.mft.Paths {
+				if pe.Port == p.mft.AckOutPort || pe.AckPSN == ackNone {
+					continue
+				}
+				if pe.AckPSN < int64(lossAt)-1 {
+					t.Fatalf("seed %d: NACK(%d) emitted while path %d only acked %d",
+						seed, lossAt, pe.Port, pe.AckPSN)
+				}
+			}
+		}
+		if nackSent && len(p.nacks) == 0 {
+			t.Fatalf("seed %d: loser NACKed but the sender never learned", seed)
+		}
+	}
+}
+
+// TestAggAckNeverRegressesAcrossSourceSwitch: aggregation state stays on
+// one monotonic PSN line across a source change.
+func TestAggAckNeverRegressesAcrossSourceSwitch(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	runMulticast(t, e, 0, 256<<10)
+	mft := e.accels[0].MFT(e.group.ID)
+	before := mft.AggAckPSN
+	e.group.SwitchSource(0, 1)
+	runMulticast(t, e, 1, 256<<10)
+	if mft.AggAckPSN <= before {
+		t.Fatalf("AggAckPSN %d did not advance past %d after source switch", mft.AggAckPSN, before)
+	}
+}
+
+// TestPathIndexConsistency: EnsureEntry keeps the Path Index and Path Table
+// mutually consistent under arbitrary port insertions.
+func TestPathIndexConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMFT(simnet.MulticastBase+1, 64)
+	seen := map[int]*PathEntry{}
+	for i := 0; i < 1000; i++ {
+		port := rng.Intn(64)
+		e := m.EnsureEntry(port)
+		if prev, ok := seen[port]; ok && prev != e {
+			t.Fatalf("EnsureEntry(%d) returned a different entry", port)
+		}
+		seen[port] = e
+		if e.Port != port {
+			t.Fatalf("entry port %d != %d", e.Port, port)
+		}
+	}
+	for port := 0; port < 64; port++ {
+		e := m.Entry(port)
+		if (e != nil) != (seen[port] != nil) {
+			t.Fatalf("port %d presence mismatch", port)
+		}
+	}
+	if len(m.Paths) != len(seen) {
+		t.Fatalf("%d paths for %d distinct ports", len(m.Paths), len(seen))
+	}
+	if m.Entry(-1) != nil || m.Entry(64) != nil {
+		t.Fatal("out-of-range ports must return nil")
+	}
+}

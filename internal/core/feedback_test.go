@@ -1,0 +1,361 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/roce"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// TestNackInterCoveringPrevented reproduces the §III-D scenario: R1 loses
+// p1 and R2 loses p2 with p1 < p2. The sender must see a NACK for p1 before
+// any NACK for p2, otherwise p1's loss would be covered and never repaired.
+func TestNackInterCoveringPrevented(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	// Drop psn=10 toward member 1 and psn=20 toward member 2, once each, by
+	// intercepting the bridged copies at each host's ingress — fully
+	// deterministic, and the replication path stays untouched.
+	var senderNacks []uint64
+	origHandler1 := e.net.Hosts[1].Handler
+	drop1 := true
+	e.net.Hosts[1].Handler = func(p *simnet.Packet) {
+		if p.Type == simnet.Data && p.PSN == 10 && drop1 {
+			drop1 = false
+			return
+		}
+		origHandler1(p)
+	}
+	origHandler2 := e.net.Hosts[2].Handler
+	drop2 := true
+	e.net.Hosts[2].Handler = func(p *simnet.Packet) {
+		if p.Type == simnet.Data && p.PSN == 20 && drop2 {
+			drop2 = false
+			return
+		}
+		origHandler2(p)
+	}
+	origHandler0 := e.net.Hosts[0].Handler
+	e.net.Hosts[0].Handler = func(p *simnet.Packet) {
+		if p.Type == simnet.Nack {
+			senderNacks = append(senderNacks, p.PSN)
+		}
+		origHandler0(p)
+	}
+	runMulticast(t, e, 0, 64<<10) // 64 packets at MTU 1024
+	if drop1 || drop2 {
+		t.Fatal("test drops never engaged")
+	}
+	if len(senderNacks) == 0 {
+		t.Fatal("sender saw no NACKs despite two losses")
+	}
+	// Every NACK for ePSN=20 must come after the NACK for ePSN=10 was
+	// already emitted (inter-covering prevention).
+	seen10 := false
+	for _, e := range senderNacks {
+		if e == 10 {
+			seen10 = true
+		}
+		if e == 20 && !seen10 {
+			t.Fatalf("NACK(20) reached the sender before NACK(10): %v", senderNacks)
+		}
+	}
+	if !seen10 {
+		t.Fatalf("NACK(10) never reached the sender: %v", senderNacks)
+	}
+}
+
+type hook func(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) bool
+
+func (f hook) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) bool {
+	return f(sw, p, in)
+}
+
+// TestCNPFilterPassesMostCongested: CNPs from three ports; only the most
+// congested port's CNPs reach the sender.
+func TestCNPFilterPassesMostCongested(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	runMulticast(t, e, 0, 4096) // establish AckOutPort and source identity
+	accel := e.accels[0]
+	mft := accel.MFT(e.group.ID)
+	sw := e.net.Switches[0]
+	cnpsAtSender := 0
+	orig := e.net.Hosts[0].Handler
+	e.net.Hosts[0].Handler = func(p *simnet.Packet) {
+		if p.Type == simnet.CNP {
+			cnpsAtSender++
+		}
+		orig(p)
+	}
+	// Port of member 2 is "most congested": inject 10 CNPs from it and 2
+	// from member 1's port.
+	port1 := e.net.Hosts[1].NIC.Peer
+	port2 := e.net.Hosts[2].NIC.Peer
+	mk := func() *simnet.Packet {
+		return &simnet.Packet{Type: simnet.CNP, Src: 0, Dst: e.group.ID, DstQP: mft.SrcQP}
+	}
+	for i := 0; i < 10; i++ {
+		accel.Handle(sw, mk(), port2)
+	}
+	fwd := accel.Stats.CNPsForwarded
+	for i := 0; i < 2; i++ {
+		accel.Handle(sw, mk(), port1)
+	}
+	e.eng.RunUntil(e.eng.Now() + sim.Millisecond)
+	if accel.Stats.CNPsForwarded != fwd {
+		t.Fatalf("CNPs from the less congested port were forwarded (%d -> %d)",
+			fwd, accel.Stats.CNPsForwarded)
+	}
+	if accel.Stats.CNPsFiltered != 2 {
+		t.Fatalf("filtered %d CNPs, want 2", accel.Stats.CNPsFiltered)
+	}
+	if cnpsAtSender == 0 {
+		t.Fatal("no CNPs reached the sender at all")
+	}
+}
+
+// TestCNPFilterAging: after the aging period, a previously quiet port can
+// become the most congested one.
+func TestCNPFilterAging(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	runMulticast(t, e, 0, 4096)
+	accel := e.accels[0]
+	sw := e.net.Switches[0]
+	port1 := e.net.Hosts[1].NIC.Peer
+	port2 := e.net.Hosts[2].NIC.Peer
+	mk := func() *simnet.Packet {
+		return &simnet.Packet{Type: simnet.CNP, Src: 0, Dst: e.group.ID}
+	}
+	for i := 0; i < 10; i++ {
+		accel.Handle(sw, mk(), port2)
+	}
+	// Let several aging periods pass: old congestion decays.
+	e.eng.RunUntil(e.eng.Now() + 10*accel.Cfg.CNPAgingPeriod)
+	fwd := accel.Stats.CNPsForwarded
+	for i := 0; i < 3; i++ {
+		accel.Handle(sw, mk(), port1)
+	}
+	if accel.Stats.CNPsForwarded <= fwd {
+		t.Fatal("port1 could not take over as most-congested after aging")
+	}
+}
+
+// TestAblationNaiveAckForwarding: without the trigger condition the sender
+// receives strictly more ACKs.
+func TestAblationNaiveAckForwarding(t *testing.T) {
+	run := func(naive bool) uint64 {
+		e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+		for _, a := range e.accels {
+			a.Cfg.NaiveAckForwarding = naive
+		}
+		register(t, e)
+		runMulticast(t, e, 0, 4<<20)
+		return e.rnics[0].Stats.AcksRecv
+	}
+	withTrigger := run(false)
+	naive := run(true)
+	if naive <= withTrigger {
+		t.Fatalf("trigger condition did not reduce sender ACKs: %d (trigger) vs %d (naive)",
+			withTrigger, naive)
+	}
+}
+
+// TestAblationRetransmitFilterOff: with the filter disabled, receivers see
+// duplicate retransmissions.
+func TestAblationRetransmitFilterOff(t *testing.T) {
+	run := func(disable bool) (dups uint64) {
+		e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+		for _, a := range e.accels {
+			a.Cfg.DisableRetransFilter = disable
+		}
+		register(t, e)
+		// Deterministic single loss toward member 1 only.
+		orig := e.net.Hosts[1].Handler
+		drop := true
+		e.net.Hosts[1].Handler = func(p *simnet.Packet) {
+			if p.Type == simnet.Data && p.PSN == 50 && drop {
+				drop = false
+				return
+			}
+			orig(p)
+		}
+		runMulticast(t, e, 0, 256<<10)
+		for _, r := range e.rnics[1:] {
+			dups += r.Stats.DupData
+		}
+		return dups
+	}
+	filtered := run(false)
+	unfiltered := run(true)
+	if unfiltered <= filtered {
+		t.Fatalf("retransmit filter showed no benefit: %d dups (on) vs %d (off)", filtered, unfiltered)
+	}
+}
+
+func TestSafeguardTripsOnThroughputCollapse(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	src := e.group.Members[0].QP
+	reason := ""
+	NewSafeguard(e.eng, src, 0.5, sim.Millisecond, func(r string) { reason = r })
+	// Healthy phase: stream messages back-to-back.
+	stop := false
+	var repost func()
+	repost = func() {
+		if !stop {
+			src.PostSend(1<<20, repost)
+		}
+	}
+	repost()
+	e.eng.RunUntil(10 * sim.Millisecond)
+	if reason != "" {
+		t.Fatalf("safeguard tripped during healthy traffic: %s", reason)
+	}
+	// Catastrophic loss: goodput collapses but the QP stays busy.
+	e.net.Switches[0].LossRate = 0.9
+	e.eng.RunUntil(100 * sim.Millisecond)
+	stop = true
+	if reason == "" {
+		t.Fatal("safeguard never tripped under 90% loss")
+	}
+}
+
+func TestSafeguardRegistrationTrip(t *testing.T) {
+	eng := sim.New(1)
+	n := topo.Testbed(eng, 2)
+	r := roce.NewRNIC(n.Hosts[0], roce.DefaultConfig())
+	qp := r.CreateQP()
+	tripped := ""
+	s := NewSafeguard(eng, qp, 0.5, sim.Millisecond, func(r string) { tripped = r })
+	s.TripRegistration(&RegistrationError{Reason: "switch full"})
+	if tripped == "" || !s.Tripped() {
+		t.Fatal("registration failure did not trip the safeguard")
+	}
+	// A second trip is idempotent.
+	s.TripRegistration(&RegistrationError{Reason: "again"})
+}
+
+// TestFeedbackFromOutsideMDTDropped: stray feedback on a port that is not
+// part of the MDT must not corrupt aggregation state.
+func TestFeedbackFromOutsideMDTDropped(t *testing.T) {
+	e := newEnv(t, func(eng *sim.Engine) *topo.Network { return topo.FatTree(eng, 4) },
+		[]int{0, 1}, 0, roce.DefaultConfig())
+	register(t, e)
+	runMulticast(t, e, 0, 4096)
+	// Pick a switch in the MDT and a port not in it.
+	var accel *Accel
+	var mft *MFT
+	for _, a := range e.accels {
+		if m := a.MFT(e.group.ID); m != nil {
+			accel, mft = a, m
+			break
+		}
+	}
+	outside := -1
+	for p := 0; p < len(mft.PathIndex); p++ {
+		if !mft.InMDT(p) {
+			outside = p
+			break
+		}
+	}
+	if outside == -1 {
+		t.Skip("no outside port on this switch")
+	}
+	before := mft.AggAckPSN
+	accel.Handle(accel.sw, &simnet.Packet{Type: simnet.Ack, Dst: e.group.ID, PSN: 999999},
+		accel.sw.Ports[outside])
+	if mft.AggAckPSN != before {
+		t.Fatal("stray ACK from outside the MDT changed aggregation state")
+	}
+}
+
+// TestUnknownGroupDataDropped: data for an unregistered McstID is consumed
+// without forwarding or panic.
+func TestUnknownGroupDataDropped(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	delivered := 0
+	for _, h := range e.net.Hosts[1:] {
+		orig := h.Handler
+		h.Handler = func(p *simnet.Packet) { delivered++; orig(p) }
+	}
+	e.net.Hosts[0].Send(&simnet.Packet{
+		Type: simnet.Data, Src: e.net.Hosts[0].IP, Dst: simnet.MulticastBase + 999,
+		SrcQP: 5, DstQP: roce.VirtualQPN, Payload: 64,
+	})
+	e.eng.RunUntil(e.eng.Now() + sim.Millisecond)
+	if delivered != 0 {
+		t.Fatalf("unregistered group data reached %d hosts", delivered)
+	}
+}
+
+// TestFeedbackHeaderRewriteAtSenderLeaf: the final feedback hop must carry
+// the sender's real <IP, QPN> (Fig 2c step 6), not the McstID.
+func TestFeedbackHeaderRewriteAtSenderLeaf(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	var acks, nacks, cnps []*simnet.Packet
+	orig := e.net.Hosts[0].Handler
+	e.net.Hosts[0].Handler = func(p *simnet.Packet) {
+		switch p.Type {
+		case simnet.Ack:
+			acks = append(acks, p)
+		case simnet.Nack:
+			nacks = append(nacks, p)
+		case simnet.CNP:
+			cnps = append(cnps, p)
+		}
+		orig(p)
+	}
+	// One loss so a NACK flows too.
+	dropped := false
+	h1orig := e.net.Hosts[1].Handler
+	e.net.Hosts[1].Handler = func(p *simnet.Packet) {
+		if p.Type == simnet.Data && p.PSN == 20 && !dropped {
+			dropped = true
+			return
+		}
+		h1orig(p)
+	}
+	runMulticast(t, e, 0, 256<<10)
+	senderIP := e.net.Hosts[0].IP
+	senderQPN := e.group.Members[0].QP.QPN
+	if len(acks) == 0 || len(nacks) == 0 {
+		t.Fatalf("feedback incomplete: %d acks %d nacks", len(acks), len(nacks))
+	}
+	for _, p := range append(acks, nacks...) {
+		if p.Dst != senderIP || p.DstQP != senderQPN {
+			t.Fatalf("feedback not rewritten for the sender: %v", p)
+		}
+		if p.Src != e.group.ID {
+			t.Fatalf("feedback srcIP %v, want McstID %v", p.Src, e.group.ID)
+		}
+	}
+}
+
+// TestAccelStatsAccounting: the per-switch counters stay consistent with
+// the traffic that actually flowed.
+func TestAccelStatsAccounting(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	runMulticast(t, e, 0, 1<<20)
+	st := e.accels[0].Stats
+	pkts := uint64((1 << 20) / roce.DefaultConfig().MTU)
+	if st.DataIn != pkts {
+		t.Fatalf("DataIn %d, want %d", st.DataIn, pkts)
+	}
+	// Each packet replicated to 3 receivers = 2 extra copies each.
+	if st.DataReplicated != 2*pkts {
+		t.Fatalf("DataReplicated %d, want %d", st.DataReplicated, 2*pkts)
+	}
+	if st.DataBridged != 3*pkts {
+		t.Fatalf("DataBridged %d, want %d", st.DataBridged, 3*pkts)
+	}
+	if st.AcksEmitted == 0 || st.AcksEmitted > st.AcksIn {
+		t.Fatalf("AcksEmitted %d vs AcksIn %d", st.AcksEmitted, st.AcksIn)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/roce"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+var nextMcstID uint32
+
+// AllocMcstID returns a fresh 32-bit multicast group ID in the class-D
+// range.
+func AllocMcstID() simnet.Addr {
+	nextMcstID++
+	return simnet.MulticastBase + simnet.Addr(nextMcstID)
+}
+
+// ResetMcstIDs rewinds the allocator (tests and repeated experiments).
+func ResetMcstIDs() { nextMcstID = 0 }
+
+// Member is one host's participation in a multicast group: a single RoCE
+// QP connected to the virtual remote <McstID, 0x1>, exactly one connection
+// per member regardless of group size.
+type Member struct {
+	Host *simnet.Host
+	RNIC *roce.RNIC
+	QP   *roce.QP
+
+	// WVA/WRKey describe the member's registered memory region for
+	// multicast WRITE.
+	WVA   uint64
+	WRKey uint32
+}
+
+// Agent is the per-host control-plane agent: it demultiplexes MRP traffic
+// for every group the host participates in and answers confirmations.
+type Agent struct {
+	rnic   *roce.RNIC
+	groups map[simnet.Addr]*Group
+}
+
+// NewAgent installs an agent as the RNIC's control handler.
+func NewAgent(rnic *roce.RNIC) *Agent {
+	a := &Agent{rnic: rnic, groups: make(map[simnet.Addr]*Group)}
+	rnic.CtrlHandler = a.handle
+	return a
+}
+
+func (a *Agent) handle(p *simnet.Packet) {
+	switch p.Type {
+	case simnet.MRP:
+		pay := p.Meta.(*MRPPayload)
+		// Affirm membership: answer the controller with a confirmation for
+		// every record naming this host.
+		for _, n := range pay.Nodes {
+			if n.IP == a.rnic.Host.IP {
+				a.rnic.Host.Send(&simnet.Packet{
+					Type: simnet.MRPConfirm, Src: a.rnic.Host.IP, Dst: pay.CtrlIP,
+					Payload: 64,
+					Meta:    &confirmPayload{McstID: pay.McstID, Member: n.IP},
+				})
+			}
+		}
+	case simnet.MRPConfirm:
+		pay := p.Meta.(*confirmPayload)
+		if g := a.groups[pay.McstID]; g != nil {
+			g.onConfirm(pay.Member)
+		}
+	case simnet.MRPReject:
+		pay := p.Meta.(*confirmPayload)
+		if g := a.groups[pay.McstID]; g != nil {
+			g.onReject(pay.Reason)
+		}
+	}
+}
+
+// Group is one multicast group: its members, the controller state on the
+// leader host, and the registration lifecycle.
+type Group struct {
+	ID      simnet.Addr
+	Members []*Member
+
+	// Leader indexes the member hosting the controller. Any member may be
+	// the multicast source; the leader is only a control-plane role.
+	Leader int
+
+	eng        *sim.Engine
+	confirmed  map[simnet.Addr]bool
+	registered bool
+	failure    string
+	onDone     func(err error)
+	regTimer   *sim.Timer
+}
+
+// NewGroup creates a group over the given members. Each member's QP is
+// connected to the virtual remote <McstID, 0x1>; the leader's agent is
+// registered for controller callbacks.
+func NewGroup(eng *sim.Engine, id simnet.Addr, members []*Member, leader int, agents []*Agent) *Group {
+	g := &Group{ID: id, Members: members, Leader: leader, eng: eng, confirmed: make(map[simnet.Addr]bool)}
+	for _, m := range members {
+		m.QP.Connect(id, roce.VirtualQPN)
+	}
+	for _, ag := range agents {
+		ag.groups[id] = g
+	}
+	return g
+}
+
+// RegistrationError reports a failed MFT registration.
+type RegistrationError struct{ Reason string }
+
+func (e *RegistrationError) Error() string { return "cepheus: registration failed: " + e.Reason }
+
+// Register runs the MRP registration: the controller encapsulates every
+// member's connection state into MRP packets (chunked at MRPMaxNodes) and
+// launches them toward the leader's leaf switch; done fires when every
+// member confirmed, or with an error on rejection or timeout.
+func (g *Group) Register(timeout sim.Time, done func(err error)) {
+	g.onDone = done
+	leader := g.Members[g.Leader]
+	nodes := make([]NodeInfo, len(g.Members))
+	for i, m := range g.Members {
+		nodes[i] = NodeInfo{IP: m.Host.IP, QPN: m.QP.QPN, WVA: m.WVA, WRKey: m.WRKey}
+	}
+	// The controller's own host is a participant by construction; the paper
+	// collects confirmations only from the other hosts.
+	g.confirmed[leader.Host.IP] = true
+	chunks := chunkNodes(nodes)
+	for i, ch := range chunks {
+		pay := &MRPPayload{
+			McstID: g.ID, Seq: i, Total: len(chunks),
+			CtrlIP: leader.Host.IP, Nodes: ch,
+		}
+		leader.Host.Send(newMRPPacket(leader.Host.IP, pay))
+	}
+	if timeout > 0 {
+		g.regTimer = g.eng.AfterTimer(timeout, func() {
+			if !g.registered && g.failure == "" {
+				g.fail(fmt.Sprintf("timeout after %v with %d/%d confirmations",
+					timeout, len(g.confirmed), len(g.Members)))
+			}
+		})
+	}
+}
+
+func (g *Group) onConfirm(member simnet.Addr) {
+	if g.registered || g.failure != "" {
+		return
+	}
+	g.confirmed[member] = true
+	if len(g.confirmed) == len(g.Members) {
+		g.registered = true
+		if g.regTimer != nil {
+			g.regTimer.Stop()
+		}
+		if g.onDone != nil {
+			g.onDone(nil)
+		}
+	}
+}
+
+func (g *Group) onReject(reason string) {
+	if g.registered || g.failure != "" {
+		return
+	}
+	g.fail(reason)
+}
+
+func (g *Group) fail(reason string) {
+	g.failure = reason
+	if g.regTimer != nil {
+		g.regTimer.Stop()
+	}
+	if g.onDone != nil {
+		g.onDone(&RegistrationError{Reason: reason})
+	}
+}
+
+// Registered reports whether registration completed successfully.
+func (g *Group) Registered() bool { return g.registered }
+
+// SyncAllPSN aligns every member's send and receive PSN at the group-wide
+// maximum. The reduction extension uses it when the reduction root moves:
+// contributors must share one send-PSN line for their packets to combine
+// per PSN, which the pairwise §III-E sync cannot restore once members'
+// roles have diverged. All QPs must be idle.
+func (g *Group) SyncAllPSN() {
+	var max uint64
+	for _, m := range g.Members {
+		if v := m.QP.SqPSN(); v > max {
+			max = v
+		}
+		if v := m.QP.RqPSN(); v > max {
+			max = v
+		}
+	}
+	for _, m := range g.Members {
+		m.QP.SetSqPSN(max)
+		m.QP.SetRqPSN(max)
+	}
+}
+
+// SwitchSource performs the §III-E PSN Synchronization between the old and
+// new source members. The fabric needs no reconfiguration: switches detect
+// the new incoming port from the data itself.
+func (g *Group) SwitchSource(oldIdx, newIdx int) {
+	old := g.Members[oldIdx].QP
+	next := g.Members[newIdx].QP
+	// Old source: rqPSN := sqPSN, so it can verify the new source's stream.
+	old.SetRqPSN(old.SqPSN())
+	// New source: sqPSN := rqPSN, so receivers' verification still matches.
+	next.SetSqPSN(next.RqPSN())
+}

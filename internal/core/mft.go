@@ -1,0 +1,175 @@
+// Package core implements the paper's primary contribution: the Cepheus
+// multicast accelerator. It contains the Multicast Forwarding Table (MFT)
+// with its Path Index and Path Table (§III-B), the MRP registration
+// protocol (§III-C), data replication with connection bridging (§III-B2),
+// RoCE-capable feedback handling — ACK aggregation with the trigger
+// condition, NACK aggregation via MePSN, retransmit filtering, and CNP
+// filtering with aging (§III-D) — plus multicast source switching (§III-E)
+// and the safeguard fallback (§V-D).
+package core
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// ackNone marks a path that has produced no feedback yet. A path that
+// NACKed with ePSN=0 has acknowledged "nothing, but is alive", which is
+// AckPSN == -1; both states must be distinguishable, hence the sentinel.
+const ackNone = math.MinInt64
+
+// PathEntry is one Path Table row: an outgoing MDT path through one switch
+// port. If the next hop is a host the entry carries the receiver's
+// connection (and MR) state used for connection bridging; if it is a
+// switch, those fields are invalid and the entry only tracks the
+// hierarchical AckPSN for that subtree.
+type PathEntry struct {
+	Port       int
+	NextIsHost bool
+
+	// Connection bridging state (valid when NextIsHost).
+	DstIP simnet.Addr
+	DstQP uint32
+	WVA   uint64 // registered MR virtual address for multicast WRITE
+	WRKey uint32 // registered MR remote key
+
+	// AckPSN is the largest PSN cumulatively acknowledged on this path
+	// (ackNone before any feedback; -1 after a NACK with ePSN 0).
+	AckPSN int64
+}
+
+// MFT is one multicast group's forwarding state on one switch: the Path
+// Index (per-port membership, §III-B1), the Path Table, and the group-level
+// feedback aggregation state. Per the paper's hierarchical design, its size
+// is bounded by the switch port count, not the group size.
+type MFT struct {
+	McstID simnet.Addr
+
+	// PathIndex[i] is 0 if port i is not in the MDT, otherwise 1 + the
+	// port's entry index in Paths.
+	PathIndex []int
+	Paths     []*PathEntry
+
+	// Group-level feedback state (§III-D).
+	AggAckPSN int64 // largest aggregated-ACK PSN emitted by this switch
+	AggValid  bool
+	TriPort   int   // port owning the minimum AckPSN at the last emission
+	MePSN     int64 // minimum NACK ePSN seen since the last NACK emission
+	MeValid   bool
+
+	// AckOutPort is the port feedback leaves through: the port the most
+	// recent data packet arrived on. Updated on every data packet, which is
+	// what makes source switching transparent to the switch (§III-E).
+	AckOutPort int
+
+	// SrcIP/SrcQP identify the current multicast source, learned from data
+	// packets; the leaf switch adjacent to the source uses them to rewrite
+	// the final feedback header.
+	SrcIP simnet.Addr
+	SrcQP uint32
+
+	// CNP filtering state: per-port congestion counters with periodic
+	// decay (§III-D "Congestion Control").
+	CNPCount  []float64
+	lastAging sim.Time
+
+	// lastNackPSN/lastNackAt suppress duplicate NACK emissions for the same
+	// ePSN inside a short holdoff while the retransmission is in flight.
+	lastNackPSN int64
+	lastNackAt  sim.Time
+
+	// SourceSwitches counts detected source changes (observable for tests
+	// and the ablation bench).
+	SourceSwitches uint64
+}
+
+// NewMFT creates an empty MFT for a switch with nports ports.
+func NewMFT(id simnet.Addr, nports int) *MFT {
+	return &MFT{
+		McstID:      id,
+		PathIndex:   make([]int, nports),
+		CNPCount:    make([]float64, nports),
+		TriPort:     -1,
+		AckOutPort:  -1,
+		MePSN:       ackNone,
+		lastNackPSN: ackNone,
+		lastNackAt:  math.MinInt64,
+	}
+}
+
+// Entry returns the Path Table entry for a port, or nil if the port is not
+// in the MDT.
+func (m *MFT) Entry(port int) *PathEntry {
+	if port < 0 || port >= len(m.PathIndex) {
+		return nil
+	}
+	idx := m.PathIndex[port]
+	if idx == 0 {
+		return nil
+	}
+	return m.Paths[idx-1]
+}
+
+// EnsureEntry returns the entry for port, creating it if the port was not
+// yet part of the MDT.
+func (m *MFT) EnsureEntry(port int) *PathEntry {
+	if e := m.Entry(port); e != nil {
+		return e
+	}
+	e := &PathEntry{Port: port, AckPSN: ackNone}
+	m.Paths = append(m.Paths, e)
+	m.PathIndex[port] = len(m.Paths)
+	return e
+}
+
+// InMDT reports whether a port is part of the distribution tree.
+func (m *MFT) InMDT(port int) bool { return m.Entry(port) != nil }
+
+// MinAck computes the minimum AckPSN over all MDT paths except the port
+// feedback leaves through (the source-facing path never acknowledges).
+// ok is false while any such path has produced no feedback at all.
+func (m *MFT) MinAck() (min int64, argmin int, ok bool) {
+	min, argmin = math.MaxInt64, -1
+	found := false
+	for _, e := range m.Paths {
+		if e.Port == m.AckOutPort {
+			continue
+		}
+		if e.AckPSN == ackNone {
+			return 0, -1, false
+		}
+		found = true
+		if e.AckPSN < min {
+			min, argmin = e.AckPSN, e.Port
+		}
+	}
+	if !found {
+		return 0, -1, false
+	}
+	return min, argmin, true
+}
+
+// Memory accounting constants, matching the paper's Fig 3 layout on the
+// FPGA: the Path Index is one byte per port, each Path Table entry packs
+// dstIP (4B) + dstQP (3B) + a 24-bit AckPSN (3B) = 10B, and the group-level
+// state (AggAckPSN, triPort, MePSN, AckOutPort, source identity) is 16B.
+// A fully populated 64-port MFT is then 720B, so 1K groups cost ~0.7MB —
+// the paper's "0.69MB per switch" bound.
+const (
+	entryBytes      = 10
+	groupStateBytes = 16
+)
+
+// MemoryBytes models the switch memory footprint of this MFT.
+func (m *MFT) MemoryBytes() int {
+	return len(m.PathIndex) + len(m.Paths)*entryBytes + groupStateBytes
+}
+
+// MaxMemoryBytes is the worst-case footprint for one group on a switch with
+// nports ports (every port in the MDT). It is independent of group size —
+// the point of the hierarchical feedback state design.
+func MaxMemoryBytes(nports int) int {
+	return nports + nports*entryBytes + groupStateBytes
+}

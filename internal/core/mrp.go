@@ -1,0 +1,64 @@
+package core
+
+import (
+	"repro/internal/simnet"
+)
+
+// MRPMaxNodes is the maximum number of node records one MRP packet carries.
+// With a 1500B MTU and 8B per record plus metadata, the paper derives 183.
+const MRPMaxNodes = 183
+
+// NodeInfo is one member's connection (and MR) state as carried by MRP.
+type NodeInfo struct {
+	IP    simnet.Addr
+	QPN   uint32
+	WVA   uint64 // MR virtual address for multicast WRITE (§III-B2)
+	WRKey uint32 // MR remote key
+}
+
+// MRPPayload is the MRP packet body (Fig 5): metadata (seq/total for
+// chunking past the MTU limit) plus the node records routed through the
+// receiving switch. CtrlIP addresses confirmations and rejections back to
+// the controller on the leader host.
+type MRPPayload struct {
+	McstID simnet.Addr
+	Seq    int
+	Total  int
+	CtrlIP simnet.Addr
+	Nodes  []NodeInfo
+}
+
+// wireBytes is the MRP payload size on the wire, from the Fig 5 codec.
+func (m *MRPPayload) wireBytes() int { return len(EncodeMRP(m)) }
+
+// newMRPPacket builds an MRP packet for a payload. MRP is UDP-based with
+// dstIP = McstID so switches classify it like other group traffic.
+func newMRPPacket(src simnet.Addr, pay *MRPPayload) *simnet.Packet {
+	return &simnet.Packet{
+		Type:    simnet.MRP,
+		Src:     src,
+		Dst:     pay.McstID,
+		Payload: pay.wireBytes(),
+		Meta:    pay,
+	}
+}
+
+// chunkNodes splits a member list into MRP-sized chunks.
+func chunkNodes(nodes []NodeInfo) [][]NodeInfo {
+	if len(nodes) == 0 {
+		return nil
+	}
+	var out [][]NodeInfo
+	for len(nodes) > MRPMaxNodes {
+		out = append(out, nodes[:MRPMaxNodes])
+		nodes = nodes[MRPMaxNodes:]
+	}
+	return append(out, nodes)
+}
+
+// confirmPayload is the body of an MRPConfirm/MRPReject packet.
+type confirmPayload struct {
+	McstID simnet.Addr
+	Member simnet.Addr
+	Reason string // set on rejection
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/simnet"
+)
+
+// Wire codec for the MRP packet body (Fig 5). The layout is:
+//
+//	metadata: McstID(4) seq(2) total(2)          = 8 bytes
+//	node record: IP(4) QPN(3) flags(1)           = 8 bytes
+//	  flags bit0 set: record is followed by MR info VA(8) RKey(4)
+//
+// The controller address is the packet's IP source (the leader host), so
+// it costs nothing on the wire; the record count is implied by the body
+// length. A 1500B IP MTU leaves 1500-20-8 = 1472 bytes of UDP payload:
+// 8 + 183*8 = 1472 — exactly the paper's 183-node chunking constant.
+// The simulator moves the decoded struct for speed but sizes every MRP
+// packet from this encoding, and the codec is what a hardware MRP parser
+// would implement.
+
+const (
+	mrpMetaBytes = 8
+	mrpNodeBytes = 8
+	mrpMRBytes   = 12
+	mrpFlagMR    = 0x01
+)
+
+// EncodeMRP serializes an MRP payload.
+func EncodeMRP(p *MRPPayload) []byte {
+	buf := make([]byte, 0, mrpMetaBytes+len(p.Nodes)*(mrpNodeBytes+mrpMRBytes))
+	var meta [mrpMetaBytes]byte
+	binary.BigEndian.PutUint32(meta[0:4], uint32(p.McstID))
+	binary.BigEndian.PutUint16(meta[4:6], uint16(p.Seq))
+	binary.BigEndian.PutUint16(meta[6:8], uint16(p.Total))
+	buf = append(buf, meta[:]...)
+	for _, n := range p.Nodes {
+		var rec [mrpNodeBytes]byte
+		binary.BigEndian.PutUint32(rec[0:4], uint32(n.IP))
+		rec[4] = byte(n.QPN >> 16)
+		rec[5] = byte(n.QPN >> 8)
+		rec[6] = byte(n.QPN)
+		hasMR := n.WVA != 0 || n.WRKey != 0
+		if hasMR {
+			rec[7] = mrpFlagMR
+		}
+		buf = append(buf, rec[:]...)
+		if hasMR {
+			var mr [mrpMRBytes]byte
+			binary.BigEndian.PutUint64(mr[0:8], n.WVA)
+			binary.BigEndian.PutUint32(mr[8:12], n.WRKey)
+			buf = append(buf, mr[:]...)
+		}
+	}
+	return buf
+}
+
+// DecodeMRP parses an encoded MRP payload. ctrlIP is the packet's IP
+// source, which addresses the controller.
+func DecodeMRP(buf []byte, ctrlIP simnet.Addr) (*MRPPayload, error) {
+	if len(buf) < mrpMetaBytes {
+		return nil, errors.New("core: short MRP metadata")
+	}
+	p := &MRPPayload{
+		McstID: simnet.Addr(binary.BigEndian.Uint32(buf[0:4])),
+		Seq:    int(binary.BigEndian.Uint16(buf[4:6])),
+		Total:  int(binary.BigEndian.Uint16(buf[6:8])),
+		CtrlIP: ctrlIP,
+	}
+	off := mrpMetaBytes
+	for off < len(buf) {
+		if len(buf) < off+mrpNodeBytes {
+			return nil, errors.New("core: truncated MRP node record")
+		}
+		rec := buf[off : off+mrpNodeBytes]
+		n := NodeInfo{
+			IP:  simnet.Addr(binary.BigEndian.Uint32(rec[0:4])),
+			QPN: uint32(rec[4])<<16 | uint32(rec[5])<<8 | uint32(rec[6]),
+		}
+		off += mrpNodeBytes
+		if rec[7]&mrpFlagMR != 0 {
+			if len(buf) < off+mrpMRBytes {
+				return nil, errors.New("core: truncated MRP MR record")
+			}
+			n.WVA = binary.BigEndian.Uint64(buf[off : off+8])
+			n.WRKey = binary.BigEndian.Uint32(buf[off+8 : off+12])
+			off += mrpMRBytes
+		}
+		p.Nodes = append(p.Nodes, n)
+	}
+	return p, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import "repro/internal/simnet"
+
+// Many-to-one reduction — the extension the paper names as future work
+// ("we plan to extend Cepheus for more collective communication
+// primitives, such as many-to-one (e.g., MPI-Reduce)", §VIII).
+//
+// The design reuses everything the multicast path already established:
+//
+//   - The MDT is an unrooted tree; a reduction is oriented toward the
+//     *current multicast source* (the paper's AckOutPort orientation).
+//     In the parameter-server pattern this is exactly right: the PS
+//     multicasts parameters (becoming the source), then workers push
+//     gradients back up the same tree.
+//   - Contributions are ordinary RoCE data packets on the members' one
+//     group QP, marked Reduce, carrying a partial aggregate. A switch
+//     combines the contributions arriving on every MDT port except
+//     AckOutPort, per PSN, and emits one packet upstream — hierarchical,
+//     with per-switch state bounded by the PSN window, not the group size.
+//   - Feedback is the exact dual of multicast: the root's ACK/NACK arrives
+//     *on* AckOutPort and is replicated down every other MDT path (with
+//     connection bridging at host ports), so every contributor's commodity
+//     RoCE sender sees a unicast-like feedback stream. A NACK resynchronizes
+//     every contributor at the same ePSN — contributions share one PSN line,
+//     like the synchronized sqPSNs that source switching maintains.
+//
+// Lost contributions simply stall a slot; the root's go-back-N (or IRN)
+// machinery repairs them through the replicated feedback.
+
+// rslot accumulates one PSN's contributions at a switch.
+type rslot struct {
+	value   float64
+	payload int
+	last    bool
+	msgID   uint64
+	got     map[int]bool // ports heard from
+}
+
+// reduceState is the per-group reduction table on one switch.
+type reduceState struct {
+	slots map[uint64]*rslot
+}
+
+// ReduceStats counts reduction activity.
+type ReduceStats struct {
+	Contributions uint64
+	Combined      uint64 // packets emitted upstream
+	FeedbackDown  uint64 // ACK/NACK/CNP replicated toward contributors
+}
+
+// handleReduce aggregates one contribution. in must be an MDT port other
+// than AckOutPort (contributions flowing on the source-facing port would
+// be the root's own, which the root adds locally).
+func (a *Accel) handleReduce(mft *MFT, p *simnet.Packet, in *simnet.Port) {
+	a.Stats.Reduce.Contributions++
+	if mft.AckOutPort < 0 {
+		return // no orientation yet: the root has never transmitted
+	}
+	if a.reduces == nil {
+		a.reduces = make(map[simnet.Addr]*reduceState)
+	}
+	rs := a.reduces[mft.McstID]
+	if rs == nil {
+		rs = &reduceState{slots: make(map[uint64]*rslot)}
+		a.reduces[mft.McstID] = rs
+	}
+	slot := rs.slots[p.PSN]
+	if slot == nil {
+		slot = &rslot{got: make(map[int]bool)}
+		rs.slots[p.PSN] = slot
+	}
+	if slot.got[in.ID] {
+		return // duplicate contribution (retransmission already counted)
+	}
+	slot.got[in.ID] = true
+	slot.value += p.Value
+	slot.payload = p.Payload
+	slot.last = p.Last
+	slot.msgID = p.MsgID
+
+	// All contributing paths = every MDT port except the root-facing one.
+	expected := 0
+	for _, e := range mft.Paths {
+		if e.Port != mft.AckOutPort {
+			expected++
+		}
+	}
+	if len(slot.got) < expected {
+		return
+	}
+	delete(rs.slots, p.PSN)
+	a.Stats.Reduce.Combined++
+	up := p.Clone()
+	up.Value = slot.value
+	up.Src = mft.McstID
+	out := a.sw.Ports[mft.AckOutPort]
+	if out.PeerIsHost() {
+		up.Dst = mft.SrcIP
+		up.DstQP = mft.SrcQP
+	}
+	a.sw.Output(up, mft.AckOutPort, in)
+}
+
+// replicateFeedbackDown mirrors the root's feedback to every contributor
+// path, bridging connections at host ports — the dual of data replication.
+func (a *Accel) replicateFeedbackDown(mft *MFT, p *simnet.Packet, in *simnet.Port) {
+	a.Stats.Reduce.FeedbackDown++
+	for _, e := range mft.Paths {
+		if e.Port == in.ID {
+			continue
+		}
+		q := p.Clone()
+		if e.NextIsHost {
+			q.Dst = e.DstIP
+			q.DstQP = e.DstQP
+			q.Src = mft.McstID
+		}
+		a.sw.Output(q, e.Port, in)
+	}
+}

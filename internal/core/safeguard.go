@@ -1,0 +1,93 @@
+package core
+
+import (
+	"repro/internal/roce"
+	"repro/internal/sim"
+)
+
+// Safeguard implements the §V-D fallback: it watches a sender QP's
+// acknowledged progress and trips when throughput collapses below a
+// fraction of the recent norm (e.g. pathological loss), or immediately on a
+// registration failure. The policy of *what* to fall back to (the default
+// AMcast algorithm) belongs to the caller; OnTrip is the hook.
+type Safeguard struct {
+	// Threshold is the fraction of the recent best throughput below which
+	// the safeguard trips (the paper suggests 50%).
+	Threshold float64
+
+	// Window is the sampling period.
+	Window sim.Time
+
+	// OnTrip fires once, with a reason.
+	OnTrip func(reason string)
+
+	qp       *roce.QP
+	eng      *sim.Engine
+	lastPSN  uint64
+	bestRate float64
+	tripped  bool
+	warmup   int
+	timer    *sim.Timer
+}
+
+// NewSafeguard starts monitoring a sender QP.
+func NewSafeguard(eng *sim.Engine, qp *roce.QP, threshold float64, window sim.Time, onTrip func(reason string)) *Safeguard {
+	s := &Safeguard{Threshold: threshold, Window: window, OnTrip: onTrip, qp: qp, eng: eng, lastPSN: qp.AckedPSN()}
+	s.arm()
+	return s
+}
+
+// TripRegistration records a registration failure, the other fallback
+// trigger the paper names.
+func (s *Safeguard) TripRegistration(err error) {
+	s.trip("registration failed: " + err.Error())
+}
+
+// Tripped reports whether the safeguard has fired.
+func (s *Safeguard) Tripped() bool { return s.tripped }
+
+// Stop halts monitoring.
+func (s *Safeguard) Stop() {
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+}
+
+func (s *Safeguard) arm() {
+	s.timer = s.eng.AfterTimer(s.Window, s.sample)
+}
+
+func (s *Safeguard) sample() {
+	if s.tripped {
+		return
+	}
+	cur := s.qp.AckedPSN()
+	progress := float64(cur - s.lastPSN)
+	s.lastPSN = cur
+	busy := s.qp.Outstanding() > 0
+	if progress > s.bestRate {
+		s.bestRate = progress
+	}
+	// Only judge windows where the QP was actually trying to make progress
+	// and we have a baseline; the first busy windows establish the norm.
+	if busy && s.bestRate > 0 {
+		if s.warmup < 2 {
+			s.warmup++
+		} else if progress < s.Threshold*s.bestRate {
+			s.trip("throughput collapsed below threshold")
+			return
+		}
+	}
+	s.arm()
+}
+
+func (s *Safeguard) trip(reason string) {
+	if s.tripped {
+		return
+	}
+	s.tripped = true
+	s.Stop()
+	if s.OnTrip != nil {
+		s.OnTrip(reason)
+	}
+}

@@ -1,0 +1,146 @@
+// Package exp provides the experiment harness shared by the benchmarks and
+// the cmd/cepheus-bench tool: parameter sweeps, table/series formatting,
+// and the flow-size-aware cell sizing rule from DESIGN.md §1.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable result table: one row per configuration, one column
+// per scheme/metric — the same rows/series the paper's figures report.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []row
+}
+
+type row struct {
+	label  string
+	values []string
+}
+
+// NewTable creates a table with the given title and column headers (the
+// first header labels the row key).
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row of already-formatted cells.
+func (t *Table) Add(label string, cells ...string) {
+	t.rows = append(t.rows, row{label: label, values: cells})
+}
+
+// AddF appends a row of float cells formatted with %.4g.
+func (t *Table) AddF(label string, vals ...float64) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		cells[i] = fmt.Sprintf("%.4g", v)
+	}
+	t.Add(label, cells...)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		if len(r.label) > widths[0] {
+			widths[0] = len(r.label)
+		}
+		for i, v := range r.values {
+			if i+1 < len(widths) && len(v) > widths[i+1] {
+				widths[i+1] = len(v)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	for _, r := range t.rows {
+		line(append([]string{r.label}, r.values...))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Rows reports how many data rows the table holds.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// FormatBytes renders a byte count the way the paper labels its x-axes
+// (64B, 8KB, 256MB, ...).
+func FormatBytes(n int) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Sizes returns a doubling sweep from lo to hi inclusive (both powers of
+// two), optionally stepping by more than one doubling.
+func Sizes(lo, hi, doublings int) []int {
+	var out []int
+	for s := lo; s <= hi; s <<= doublings {
+		out = append(out, s)
+	}
+	return out
+}
+
+// CellFor implements the DESIGN.md §1 cell-size rule: large flows are
+// simulated with a bigger packet cell so event counts stay tractable. The
+// cell is the smallest power-of-two multiple of baseMTU that keeps the flow
+// under maxPackets packets, capped at 1MB.
+func CellFor(flowBytes, baseMTU, maxPackets int) int {
+	cell := baseMTU
+	for cell < 1<<20 && flowBytes/cell > maxPackets {
+		cell <<= 1
+	}
+	return cell
+}
+
+// Ratio returns a/b, guarding against division by zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ApplyCell configures a transport for a flow simulated at cell
+// granularity: the MTU follows CellFor, and the go-back-N window is
+// rescaled to keep a constant byte depth (~1MB) so a loss costs the same
+// retransmission volume regardless of cell size (DESIGN.md §1).
+func ApplyCell(mtu *int, windowPkts *int, flowBytes, baseMTU, maxPackets int) {
+	*mtu = CellFor(flowBytes, baseMTU, maxPackets)
+	w := (1 << 20) / *mtu
+	if w < 32 {
+		w = 32
+	}
+	if w < *windowPkts {
+		*windowPkts = w
+	}
+}

@@ -1,0 +1,87 @@
+package hpl
+
+import "math"
+
+// The analytic model backs the paper's supplementary large-scale HPL
+// simulation ("up to 128*128 nodes"), where packet-level simulation of
+// every broadcast is unnecessary: per-iteration broadcast times follow
+// alpha-beta cost models and the compute term is deterministic.
+
+// BcastModel is an alpha-beta cost model for a 1-to-n broadcast of b bytes:
+// the predicted completion time in nanoseconds.
+type BcastModel func(n int, bytes float64) float64
+
+// Alpha-beta constants: alpha is per-hop software+link latency (ns), beta
+// the per-byte wire time at 100Gbps (ns/B).
+const (
+	alphaNs = 3000.0
+	betaNs  = 8.0 / 100.0 // 100Gbps -> 0.08 ns per byte
+)
+
+// RingModel is the increasing-ring (store-and-forward chain) used by HPL's
+// default PB: latency linear in n, full message relayed n-1 times.
+func RingModel(n int, bytes float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n-1) * (alphaNs + bytes*betaNs)
+}
+
+// LongModel is scatter + ring allgather: 2(n-1) steps moving bytes/n each.
+func LongModel(n int, bytes float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	steps := float64(2 * (n - 1))
+	return steps * (alphaNs + bytes/float64(n)*betaNs)
+}
+
+// BinomialModel is the binomial tree: log2(n) full-message rounds.
+func BinomialModel(n int, bytes float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(n)))
+	return rounds * (alphaNs + bytes*betaNs)
+}
+
+// CepheusModel is native-multicast-shaped: one stack traversal and one wire
+// serialization regardless of n (plus a small per-hop fabric latency).
+func CepheusModel(n int, bytes float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return alphaNs + bytes*betaNs
+}
+
+// AnalyticResult summarizes a modeled HPL run.
+type AnalyticResult struct {
+	JCTSeconds  float64
+	CommSeconds float64
+}
+
+// Analytic evaluates the HPL schedule of Config with the given PB and RS
+// broadcast models, returning total and communication time. It mirrors
+// Cluster.Run's per-iteration accounting in closed form.
+func Analytic(cfg Config, pb, rs BcastModel) AnalyticResult {
+	var comm, comp float64 // ns
+	steps := cfg.N / cfg.NB
+	for k := 0; k < steps; k++ {
+		mk := cfg.N - k*cfg.NB
+		nk := cfg.N - (k+1)*cfg.NB
+		localM := (mk + cfg.P - 1) / cfg.P
+		localN := (nk + cfg.Q - 1) / cfg.Q
+		comp += 2 * float64(cfg.NB) * float64(cfg.NB) * float64(localM) / cfg.GFlops
+		comp += 2 * float64(cfg.NB) * float64(localM) * float64(localN) / cfg.GFlops
+		if cfg.Q > 1 {
+			comm += pb(cfg.Q, float64(localM*cfg.NB*8))
+		}
+		if cfg.P > 1 {
+			comm += rs(cfg.P, float64(cfg.NB*localN*8))
+		}
+	}
+	return AnalyticResult{
+		JCTSeconds:  (comm + comp) / 1e9,
+		CommSeconds: comm / 1e9,
+	}
+}

@@ -1,0 +1,132 @@
+// Package hpl models the High-Performance Linpack application the paper
+// accelerates (§V-B2). The simulated schedule follows HPL's three phases
+// per iteration — Panel Factorization (PF), Panel Broadcast (PB) along each
+// process row, and Update whose Row Swap (RS) step broadcasts along each
+// process column — with compute as calibrated delays and communication run
+// through the network simulator using pluggable broadcast algorithms
+// (increasing-ring and "long" for the baseline, Cepheus for the accelerated
+// runs). A closed-form analytic model covers the paper's supplementary
+// 128x128-grid simulation.
+package hpl
+
+import (
+	"repro/internal/amcast"
+	"repro/internal/sim"
+)
+
+// Config describes the HPL run.
+type Config struct {
+	// N is the global matrix order; NB the blocking factor.
+	N, NB int
+	// P, Q shape the process grid; the testbed uses 1x4 (PB-only) and 4x1
+	// (RS-only).
+	P, Q int
+	// GFlops is the per-node DGEMM rate used for the compute model.
+	GFlops float64
+}
+
+// Result decomposes the job completion time.
+type Result struct {
+	JCT        sim.Time
+	PF         sim.Time // panel factorization (compute)
+	PB         sim.Time // panel broadcast (communication)
+	RS         sim.Time // row swap (communication)
+	Update     sim.Time // trailing update (compute)
+	Iterations int
+}
+
+// Comm returns the total communication time.
+func (r Result) Comm() sim.Time { return r.PB + r.RS }
+
+// Others returns PF plus Update — the paper's "Others" bar in Fig 11a.
+func (r Result) Others() sim.Time { return r.PF + r.Update }
+
+// Cluster runs HPL over a grid of nodes with pluggable row/column
+// broadcasters. rowBcasts[p] broadcasts within process row p (Q nodes);
+// colBcasts[q] within column q (P nodes). Either may be nil when that grid
+// dimension is 1.
+type Cluster struct {
+	Eng       *sim.Engine
+	Cfg       Config
+	RowBcasts []amcast.Broadcaster
+	ColBcasts []amcast.Broadcaster
+}
+
+// Run executes the factorization schedule and returns the decomposed JCT.
+// Phases run sequentially within an iteration, as in HPL without lookahead.
+func (c *Cluster) Run() Result {
+	eng := c.Eng
+	cfg := c.Cfg
+	steps := cfg.N / cfg.NB
+	res := Result{Iterations: steps}
+	start := eng.Now()
+
+	flopsTime := func(flops float64) sim.Time {
+		return sim.Time(flops / (cfg.GFlops * 1e9) * 1e9)
+	}
+
+	// wait drives the engine until the continuation fires.
+	wait := func(f func(done func())) sim.Time {
+		t0 := eng.Now()
+		finished := false
+		f(func() { finished = true })
+		for !finished {
+			if !eng.Step() {
+				panic("hpl: phase stalled with no pending events")
+			}
+		}
+		return eng.Now() - t0
+	}
+
+	// bcastAll runs one broadcast in every communicator of a dimension
+	// concurrently and waits for all (rows do their PBs in parallel).
+	bcastAll := func(bs []amcast.Broadcaster, root, bytes int) sim.Time {
+		if len(bs) == 0 || bytes <= 0 {
+			return 0
+		}
+		return wait(func(done func()) {
+			remaining := len(bs)
+			for _, b := range bs {
+				b.Bcast(root, bytes, func() {
+					remaining--
+					if remaining == 0 {
+						done()
+					}
+				})
+			}
+		})
+	}
+
+	for k := 0; k < steps; k++ {
+		mk := cfg.N - k*cfg.NB     // trailing matrix rows
+		nk := cfg.N - (k+1)*cfg.NB // trailing matrix cols after this panel
+		localM := (mk + cfg.P - 1) / cfg.P
+		localN := (nk + cfg.Q - 1) / cfg.Q
+
+		// PF: factorize the NB-wide panel (column of P processes works on
+		// its localM x NB slab).
+		pf := flopsTime(2 * float64(cfg.NB) * float64(cfg.NB) * float64(localM))
+		eng.RunFor(pf)
+		res.PF += pf
+
+		// PB: broadcast the factored panel along each process row. Root is
+		// the column owning panel k.
+		if cfg.Q > 1 {
+			panelBytes := localM * cfg.NB * 8
+			res.PB += bcastAll(c.RowBcasts, k%cfg.Q, panelBytes)
+		}
+
+		// RS: swap/broadcast the pivot rows along each process column.
+		if cfg.P > 1 {
+			rowBytes := cfg.NB * localN * 8
+			res.RS += bcastAll(c.ColBcasts, k%cfg.P, rowBytes)
+		}
+
+		// Update: trailing DGEMM on each node's local block.
+		up := flopsTime(2 * float64(cfg.NB) * float64(localM) * float64(localN))
+		eng.RunFor(up)
+		res.Update += up
+	}
+	res.JCT = eng.Now() - start
+	return res
+}

@@ -1,0 +1,93 @@
+package roce
+
+import "repro/internal/sim"
+
+// Config sets the transport parameters of an RNIC. Defaults match the
+// ConnectX-5-style behaviour the paper's testbed and ns-3 setup use
+// (go-back-N retransmission, DCQCN congestion control, PFC underneath).
+type Config struct {
+	// MTU is the data payload per packet ("cell"). Large-flow benches raise
+	// it to keep event counts tractable; see DESIGN.md §1.
+	MTU int
+
+	// WindowPkts bounds outstanding (unacknowledged) packets per QP.
+	WindowPkts int
+
+	// AckEvery coalesces ACKs: the receiver acknowledges every Nth in-order
+	// packet (and always the last packet of a message).
+	AckEvery int
+
+	// RetxTimeout is the sender-side go-back-N safeguard timeout.
+	RetxTimeout sim.Time
+
+	// PostOverhead is the end-host stack cost per posted message (verbs
+	// post, doorbell, descriptor fetch). AMcast relays pay it at every hop;
+	// this is the "through the end-host stacks multiple times" effect the
+	// paper highlights.
+	PostOverhead sim.Time
+
+	// DeliverOverhead is the end-host stack cost to surface a completed
+	// message to the application.
+	DeliverOverhead sim.Time
+
+	// CNPInterval is the minimum gap between CNPs generated for one flow
+	// (DCQCN's NP-side 50us rule).
+	CNPInterval sim.Time
+
+	// IRN enables selective-repeat retransmission (Mittal et al., SIGCOMM'18)
+	// instead of go-back-N: receivers accept out-of-order packets and the
+	// sender retransmits only what a NACK names. The paper recommends IRN
+	// to substantially enhance Cepheus' loss tolerance (§V-C).
+	IRN bool
+
+	// DCQCN enables sender-side rate control. Off, a QP sends at line rate
+	// subject to the window.
+	DCQCN bool
+
+	// DCQCNParams tunes rate control when DCQCN is true.
+	DCQCNParams DCQCNParams
+}
+
+// DefaultConfig returns the calibrated testbed configuration (DESIGN.md §5).
+func DefaultConfig() Config {
+	return Config{
+		MTU:             1024,
+		WindowPkts:      1024,
+		AckEvery:        4,
+		RetxTimeout:     500 * sim.Microsecond,
+		PostOverhead:    1500 * sim.Nanosecond,
+		DeliverOverhead: 1000 * sim.Nanosecond,
+		CNPInterval:     50 * sim.Microsecond,
+		DCQCN:           false,
+		DCQCNParams:     DefaultDCQCNParams(),
+	}
+}
+
+// DCQCNParams are the standard DCQCN constants (Zhu et al., SIGCOMM'15),
+// with the ns-3 community defaults for the increase machinery.
+type DCQCNParams struct {
+	G             float64  // alpha gain (1/256)
+	AlphaTimer    sim.Time // alpha decay period without CNPs (55us)
+	IncTimer      sim.Time // rate-increase timer period (300us)
+	ByteCounter   int      // rate-increase byte counter (10MB)
+	FastRecovery  int      // F: stages of fast recovery (5)
+	RateAI        float64  // additive increase step, bps (40Mbps)
+	RateHAI       float64  // hyper increase step, bps (400Mbps)
+	MinRate       float64  // rate floor, bps (100Mbps)
+	MinDecreaseNs sim.Time // min interval between rate cuts (50us)
+}
+
+// DefaultDCQCNParams returns the constants above.
+func DefaultDCQCNParams() DCQCNParams {
+	return DCQCNParams{
+		G:             1.0 / 256.0,
+		AlphaTimer:    55 * sim.Microsecond,
+		IncTimer:      300 * sim.Microsecond,
+		ByteCounter:   10 << 20,
+		FastRecovery:  5,
+		RateAI:        40e6,
+		RateHAI:       400e6,
+		MinRate:       100e6,
+		MinDecreaseNs: 50 * sim.Microsecond,
+	}
+}

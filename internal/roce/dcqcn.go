@@ -1,0 +1,108 @@
+package roce
+
+import "repro/internal/sim"
+
+// dcqcn implements the reaction-point (sender) side of DCQCN (Zhu et al.,
+// SIGCOMM'15), the congestion control built into the ConnectX-family RNICs
+// the paper's testbed uses. The notification point (CNP generation on
+// ECN-CE) lives in QP.handleData; the congestion point (RED/ECN marking)
+// lives in simnet's egress queues. Cepheus leaves all of this untouched and
+// only filters which CNPs reach the sender (§III-D).
+type dcqcn struct {
+	qp *QP
+	p  DCQCNParams
+
+	rc    float64 // current rate
+	rt    float64 // target rate
+	alpha float64
+
+	lastDecrease sim.Time
+	bytes        int
+	tCount       int // increase events from the timer since last cut
+	bCount       int // increase events from the byte counter since last cut
+
+	alphaTimer *sim.Timer
+	incTimer   *sim.Timer
+}
+
+func newDCQCN(qp *QP, p DCQCNParams) *dcqcn {
+	line := qp.nic.Host.NIC.RateBps
+	c := &dcqcn{qp: qp, p: p, rc: line, rt: line, alpha: 1, lastDecrease: -1 << 60}
+	c.armAlphaTimer()
+	c.armIncTimer()
+	return c
+}
+
+func (c *dcqcn) armAlphaTimer() {
+	if c.alphaTimer != nil {
+		c.alphaTimer.Stop()
+	}
+	c.alphaTimer = c.qp.eng.AfterTimer(c.p.AlphaTimer, c.onAlphaTimer)
+}
+
+func (c *dcqcn) armIncTimer() {
+	if c.incTimer != nil {
+		c.incTimer.Stop()
+	}
+	c.incTimer = c.qp.eng.AfterTimer(c.p.IncTimer, c.onIncTimer)
+}
+
+func (c *dcqcn) onAlphaTimer() {
+	c.alpha *= 1 - c.p.G
+	c.armAlphaTimer()
+}
+
+func (c *dcqcn) onIncTimer() {
+	c.tCount++
+	c.increase()
+	c.armIncTimer()
+}
+
+// onCNP is the DCQCN cut: alpha absorbs the congestion signal and the rate
+// halves proportionally to it, at most once per MinDecreaseNs.
+func (c *dcqcn) onCNP() {
+	c.alpha = (1-c.p.G)*c.alpha + c.p.G
+	c.armAlphaTimer()
+	now := c.qp.eng.Now()
+	if now-c.lastDecrease < c.p.MinDecreaseNs {
+		return
+	}
+	c.lastDecrease = now
+	c.rt = c.rc
+	c.rc *= 1 - c.alpha/2
+	if c.rc < c.p.MinRate {
+		c.rc = c.p.MinRate
+	}
+	c.tCount, c.bCount, c.bytes = 0, 0, 0
+	c.armIncTimer()
+}
+
+func (c *dcqcn) onBytesSent(n int) {
+	c.bytes += n
+	for c.bytes >= c.p.ByteCounter {
+		c.bytes -= c.p.ByteCounter
+		c.bCount++
+		c.increase()
+	}
+}
+
+func (c *dcqcn) increase() {
+	f := c.p.FastRecovery
+	switch {
+	case c.tCount <= f && c.bCount <= f:
+		// Fast recovery: climb halfway back to the pre-cut rate.
+	case c.tCount > f && c.bCount > f:
+		c.rt += c.p.RateHAI
+	default:
+		c.rt += c.p.RateAI
+	}
+	line := c.qp.nic.Host.NIC.RateBps
+	if c.rt > line {
+		c.rt = line
+	}
+	c.rc = (c.rt + c.rc) / 2
+	if c.rc > line {
+		c.rc = line
+	}
+	c.qp.trySend()
+}

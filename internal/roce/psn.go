@@ -1,0 +1,61 @@
+// Package roce models the RoCE (RoCEv2) RC transport the paper relies on:
+// queue pairs, PSN-stamped packetization, cumulative ACKs with coalescing,
+// NACK-driven go-back-N retransmission, retransmission timeout, RDMA WRITE
+// header fields, CNP generation on ECN, and DCQCN rate control. It is the
+// commodity-RNIC stand-in the Cepheus accelerator must interoperate with
+// (see DESIGN.md §1).
+package roce
+
+// RoCE PSNs are 24-bit sequence numbers that wrap. The simulator tracks
+// *virtual* PSNs (uint64, never wrapping) so that minimum computations in
+// the Cepheus MFT stay simple, and converts at the wire boundary with the
+// helpers here. The reconstruction is exact as long as sender and receiver
+// stay within half the PSN space of each other, which the RC window
+// guarantees by construction.
+
+// PSNSpace is the size of the 24-bit PSN space.
+const PSNSpace = 1 << 24
+
+// psnMask extracts the wire PSN.
+const psnMask = PSNSpace - 1
+
+// WirePSN narrows a virtual PSN to its 24-bit wire representation.
+func WirePSN(v uint64) uint32 { return uint32(v & psnMask) }
+
+// ReconstructPSN widens wire back to a virtual PSN, choosing the value
+// congruent to wire (mod 2^24) nearest to ref. It inverts WirePSN for any
+// offset within (-2^23, 2^23] of ref.
+func ReconstructPSN(ref uint64, wire uint32) uint64 {
+	w := uint64(wire & psnMask)
+	base := ref &^ uint64(psnMask)
+	cand := base | w
+	// Three candidates: same epoch as ref, one below, one above.
+	best := cand
+	bestDist := dist(ref, cand)
+	if cand >= PSNSpace {
+		if d := dist(ref, cand-PSNSpace); d < bestDist {
+			best, bestDist = cand-PSNSpace, d
+		}
+	}
+	if d := dist(ref, cand+PSNSpace); d < bestDist {
+		best = cand + PSNSpace
+	}
+	return best
+}
+
+func dist(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// PSNLess compares two 24-bit wire PSNs using serial-number arithmetic
+// (RFC 1982 style): a < b iff the forward distance from a to b is less than
+// half the space.
+func PSNLess(a, b uint32) bool {
+	if a == b {
+		return false
+	}
+	return (b-a)&psnMask < PSNSpace/2
+}

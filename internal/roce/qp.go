@@ -1,0 +1,547 @@
+package roce
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// VirtualQPN is the reserved destination QPN (0x1) Cepheus assigns to the
+// virtual remote connection of every QP in a multicast group (§III-A).
+const VirtualQPN uint32 = 0x1
+
+// WQE is a posted send work request.
+type WQE struct {
+	MsgID    uint64
+	Size     int
+	IsWrite  bool
+	VA       uint64
+	RKey     uint32
+	IsReduce bool
+	Value    float64
+	FirstPSN uint64
+	LastPSN  uint64
+
+	// OnComplete fires when the whole message is acknowledged.
+	OnComplete func()
+}
+
+// Message is a fully received, in-order message surfaced to the
+// application.
+type Message struct {
+	MsgID uint64
+	Size  int
+	Src   simnet.Addr
+	SrcQP uint32
+	// WriteVA/WriteRKey echo the RETH of a WRITE message's first packet.
+	WriteVA   uint64
+	WriteRKey uint32
+
+	// Value is the (aggregated) reduction value of a reduce message.
+	Value float64
+}
+
+// QP is an RC queue pair. One struct holds both requester (send) and
+// responder (receive) state, as on a real RNIC.
+type QP struct {
+	QPN    uint32
+	DstIP  simnet.Addr
+	DstQPN uint32
+
+	// OnMessage delivers completed in-order messages (after the host-stack
+	// delivery cost).
+	OnMessage func(m Message)
+
+	// GoodputBytes counts in-order accepted data payload at the responder
+	// side; experiments sample it to plot throughput over time (Fig 14).
+	GoodputBytes uint64
+
+	nic *RNIC
+	eng *sim.Engine
+
+	// ---- requester (sender) ----
+	wqes    []*WQE
+	tail    uint64 // next PSN to assign
+	sndUna  uint64 // first unacknowledged PSN
+	sndNxt  uint64 // next PSN to transmit (rewinds on go-back-N)
+	maxSent uint64 // highest PSN+1 ever transmitted
+
+	nextTx        sim.Time
+	sendScheduled bool
+	rto           *sim.Timer
+	lastRewindE   uint64
+	lastRewindAt  sim.Time
+	cc            *dcqcn
+	rtq           []uint64 // IRN: PSNs awaiting selective retransmission
+	backpressured bool     // parked on NIC backpressure (see RNIC.defer1)
+
+	// ---- responder (receiver) ----
+	rqPSN       uint64 // expected PSN
+	sinceAck    int
+	ackDue      bool
+	nackPending bool
+	curBytes    int
+	curVA       uint64
+	curRKey     uint32
+	curValue    float64
+	lastCNP     sim.Time
+
+	// IRN responder state: buffered out-of-order packets and NACK dedup.
+	ooo           map[uint64]oooPkt
+	lastNackedPSN uint64
+	lastNackedAt  sim.Time
+}
+
+// oooPkt is an out-of-order packet buffered by an IRN responder until the
+// sequence gap closes.
+type oooPkt struct {
+	payload int
+	last    bool
+	msgID   uint64
+	va      uint64
+	rkey    uint32
+	value   float64
+}
+
+func newQP(r *RNIC, qpn uint32) *QP {
+	qp := &QP{
+		QPN: qpn, nic: r, eng: r.eng,
+		lastCNP: -1 << 60, lastRewindAt: -1 << 60,
+		lastNackedPSN: ^uint64(0), lastNackedAt: -1 << 60,
+	}
+	if r.Cfg.IRN {
+		qp.ooo = make(map[uint64]oooPkt)
+	}
+	if r.Cfg.DCQCN {
+		qp.cc = newDCQCN(qp, r.Cfg.DCQCNParams)
+	}
+	return qp
+}
+
+// Connect activates the QP against a remote <dstIP, dstQPN>. For Cepheus
+// multicast QPs the remote is the virtual connection <McstID, 0x1>.
+func (qp *QP) Connect(dstIP simnet.Addr, dstQPN uint32) {
+	qp.DstIP = dstIP
+	qp.DstQPN = dstQPN
+}
+
+// SqPSN returns the requester's next send PSN (the paper's sqPSN).
+func (qp *QP) SqPSN() uint64 { return qp.tail }
+
+// RqPSN returns the responder's expected PSN (the paper's rqPSN).
+func (qp *QP) RqPSN() uint64 { return qp.rqPSN }
+
+// SetSqPSN overwrites requester PSN state. It is only legal while the send
+// queue is idle; Cepheus uses it for the PSN Synchronization step of
+// multicast source switching (§III-E).
+func (qp *QP) SetSqPSN(psn uint64) {
+	if len(qp.wqes) > 0 {
+		panic("roce: SetSqPSN with in-flight messages")
+	}
+	qp.tail, qp.sndUna, qp.sndNxt, qp.maxSent = psn, psn, psn, psn
+}
+
+// SetRqPSN overwrites the responder's expected PSN (see SetSqPSN).
+func (qp *QP) SetRqPSN(psn uint64) { qp.rqPSN = psn }
+
+// AckedPSN returns the first unacknowledged PSN; everything below it has
+// been acknowledged by the remote (or, for Cepheus, by every receiver).
+func (qp *QP) AckedPSN() uint64 { return qp.sndUna }
+
+// Outstanding returns how many packets are posted but not yet acknowledged.
+func (qp *QP) Outstanding() uint64 { return qp.tail - qp.sndUna }
+
+// Rate returns the requester's current sending rate in bps.
+func (qp *QP) Rate() float64 {
+	if qp.cc != nil {
+		return qp.cc.rc
+	}
+	return qp.nic.Host.NIC.RateBps
+}
+
+// PostSend posts a SEND of size bytes. onComplete (may be nil) fires when
+// the message is fully acknowledged.
+func (qp *QP) PostSend(size int, onComplete func()) {
+	qp.post(size, false, 0, 0, onComplete)
+}
+
+// PostWrite posts an RDMA WRITE of size bytes targeting the remote MR
+// <va, rkey>. The responder RNIC validates the MR on the first packet.
+func (qp *QP) PostWrite(size int, va uint64, rkey uint32, onComplete func()) {
+	qp.post(size, true, va, rkey, onComplete)
+}
+
+// PostReduce posts a reduction contribution of size bytes carrying value.
+// On a Cepheus group QP the fabric combines contributions per PSN and the
+// root receives a single message whose Value is the group aggregate.
+func (qp *QP) PostReduce(size int, value float64, onComplete func()) {
+	r := qp.nic
+	r.stackDefer(r.Cfg.PostOverhead, func() {
+		w := qp.enqueueWQE(size, false, 0, 0, onComplete)
+		w.IsReduce = true
+		w.Value = value
+		qp.trySend()
+	})
+}
+
+func (qp *QP) post(size int, isWrite bool, va uint64, rkey uint32, onComplete func()) {
+	if size <= 0 {
+		panic("roce: post of non-positive size")
+	}
+	r := qp.nic
+	r.stackDefer(r.Cfg.PostOverhead, func() {
+		qp.enqueueWQE(size, isWrite, va, rkey, onComplete)
+		qp.trySend()
+	})
+}
+
+func (qp *QP) enqueueWQE(size int, isWrite bool, va uint64, rkey uint32, onComplete func()) *WQE {
+	r := qp.nic
+	npkt := (size + r.Cfg.MTU - 1) / r.Cfg.MTU
+	w := &WQE{
+		MsgID:      r.nextMsg,
+		Size:       size,
+		IsWrite:    isWrite,
+		VA:         va,
+		RKey:       rkey,
+		FirstPSN:   qp.tail,
+		LastPSN:    qp.tail + uint64(npkt) - 1,
+		OnComplete: onComplete,
+	}
+	r.nextMsg++
+	qp.tail += uint64(npkt)
+	qp.wqes = append(qp.wqes, w)
+	return w
+}
+
+// ---- requester side ----
+
+// nextToSend picks the next PSN to transmit: selective retransmissions
+// first (IRN), then new data within the window.
+func (qp *QP) nextToSend() (psn uint64, retx, ok bool) {
+	for len(qp.rtq) > 0 {
+		if qp.rtq[0] < qp.sndUna {
+			qp.rtq = qp.rtq[1:] // acknowledged while queued
+			continue
+		}
+		return qp.rtq[0], true, true
+	}
+	if qp.sndNxt < qp.tail && qp.sndNxt-qp.sndUna < uint64(qp.nic.Cfg.WindowPkts) {
+		return qp.sndNxt, false, true
+	}
+	return 0, false, false
+}
+
+func (qp *QP) trySend() {
+	if qp.sendScheduled {
+		return
+	}
+	if _, _, ok := qp.nextToSend(); !ok {
+		return // a post, ACK or NACK will kick us
+	}
+	at := qp.eng.Now()
+	if qp.nextTx > at {
+		at = qp.nextTx
+	}
+	qp.sendScheduled = true
+	qp.eng.Schedule(at, qp.emit)
+}
+
+func (qp *QP) emit() {
+	qp.sendScheduled = false
+	psn, retx, ok := qp.nextToSend()
+	if !ok {
+		return
+	}
+	if qp.nic.nicBackpressured() {
+		// The NIC egress is full or PFC-paused: hold the packet and resume
+		// when the queue drains rather than overrunning it.
+		qp.nic.defer1(qp)
+		return
+	}
+	if retx {
+		qp.rtq = qp.rtq[1:]
+	}
+	w := qp.wqeFor(psn)
+	if w == nil {
+		panic(fmt.Sprintf("roce: %s qp%d has no WQE for psn %d", qp.nic.Host.Name, qp.QPN, psn))
+	}
+	idx := int(psn - w.FirstPSN)
+	payload := w.Size - idx*qp.nic.Cfg.MTU
+	if payload > qp.nic.Cfg.MTU {
+		payload = qp.nic.Cfg.MTU
+	}
+	p := &simnet.Packet{
+		Type:    simnet.Data,
+		Src:     qp.nic.Host.IP,
+		Dst:     qp.DstIP,
+		SrcQP:   qp.QPN,
+		DstQP:   qp.DstQPN,
+		PSN:     psn,
+		Payload: payload,
+		MsgID:   w.MsgID,
+		Last:    psn == w.LastPSN,
+		Retrans: psn < qp.maxSent,
+	}
+	if w.IsWrite && idx == 0 {
+		p.WriteVA = w.VA
+		p.WriteRKey = w.RKey
+	}
+	if w.IsReduce {
+		p.Reduce = true
+		p.Value = w.Value
+	}
+	if p.Retrans {
+		qp.nic.Stats.Retransmits++
+	}
+	qp.nic.Stats.DataSent++
+	qp.nic.Host.Send(p)
+
+	// Pace the next emission at the current rate.
+	bits := float64((payload + simnet.WireOverhead) * 8)
+	gap := sim.Time(bits / qp.Rate() * 1e9)
+	now := qp.eng.Now()
+	if qp.nextTx < now {
+		qp.nextTx = now
+	}
+	qp.nextTx += gap
+	if qp.cc != nil {
+		qp.cc.onBytesSent(payload + simnet.WireOverhead)
+	}
+	if !retx {
+		qp.sndNxt = psn + 1
+		if qp.sndNxt > qp.maxSent {
+			qp.maxSent = qp.sndNxt
+		}
+	}
+	qp.armRTO()
+	qp.trySend()
+}
+
+func (qp *QP) wqeFor(psn uint64) *WQE {
+	for _, w := range qp.wqes {
+		if psn >= w.FirstPSN && psn <= w.LastPSN {
+			return w
+		}
+	}
+	return nil
+}
+
+func (qp *QP) armRTO() {
+	if qp.rto != nil {
+		qp.rto.Stop()
+	}
+	qp.rto = qp.eng.AfterTimer(qp.nic.Cfg.RetxTimeout, qp.onRTO)
+}
+
+func (qp *QP) onRTO() {
+	if qp.sndUna >= qp.tail {
+		return // everything acknowledged; nothing outstanding
+	}
+	if qp.backpressured || qp.nic.nicBackpressured() {
+		// Feedback is stalled because *we* cannot transmit (local PFC
+		// pause); retransmitting would only deepen the backlog.
+		qp.armRTO()
+		return
+	}
+	qp.nic.Stats.Timeouts++
+	if qp.nic.Cfg.IRN {
+		qp.queueRetx(qp.sndUna)
+	} else {
+		qp.sndNxt = qp.sndUna
+	}
+	qp.armRTO()
+	qp.trySend()
+}
+
+// queueRetx schedules one PSN for selective retransmission (IRN).
+func (qp *QP) queueRetx(psn uint64) {
+	for _, v := range qp.rtq {
+		if v == psn {
+			return
+		}
+	}
+	qp.rtq = append(qp.rtq, psn)
+	// Keep ascending so retransmissions repair the oldest gap first.
+	for i := len(qp.rtq) - 1; i > 0 && qp.rtq[i] < qp.rtq[i-1]; i-- {
+		qp.rtq[i], qp.rtq[i-1] = qp.rtq[i-1], qp.rtq[i]
+	}
+}
+
+func (qp *QP) advanceCum(acked uint64) {
+	if acked < qp.sndUna {
+		return
+	}
+	qp.sndUna = acked
+	for len(qp.wqes) > 0 && qp.wqes[0].LastPSN < qp.sndUna {
+		w := qp.wqes[0]
+		qp.wqes = qp.wqes[1:]
+		if w.OnComplete != nil {
+			w.OnComplete()
+		}
+	}
+	if qp.sndUna >= qp.tail {
+		if qp.rto != nil {
+			qp.rto.Stop()
+		}
+	} else {
+		qp.armRTO()
+	}
+	qp.trySend()
+}
+
+// ---- packet dispatch ----
+
+func (qp *QP) handle(p *simnet.Packet) {
+	switch p.Type {
+	case simnet.Data:
+		qp.handleData(p)
+	case simnet.Ack:
+		qp.nic.Stats.AcksRecv++
+		qp.advanceCum(p.PSN + 1)
+	case simnet.Nack:
+		qp.nic.Stats.NacksRecv++
+		qp.handleNack(p)
+	case simnet.CNP:
+		qp.nic.Stats.CNPsRecv++
+		if qp.cc != nil {
+			qp.cc.onCNP()
+		}
+	}
+}
+
+func (qp *QP) handleNack(p *simnet.Packet) {
+	e := p.PSN // expected PSN: everything below e is acknowledged
+	qp.advanceCum(e)
+	if e >= qp.maxSent {
+		return // nothing sent at or beyond e; nothing to retransmit
+	}
+	// Suppress duplicate repairs of the same point within the holdoff (the
+	// retransmission is already in flight).
+	now := qp.eng.Now()
+	if e == qp.lastRewindE && now-qp.lastRewindAt < qp.nic.Cfg.RetxTimeout/8 {
+		return
+	}
+	qp.lastRewindE, qp.lastRewindAt = e, now
+	if qp.nic.Cfg.IRN {
+		// Selective repeat: resend exactly the named packet; everything
+		// after it stays in flight.
+		qp.nic.Stats.SelectiveRetx++
+		qp.queueRetx(e)
+	} else {
+		// Go-back-N: rewind and resend the whole window tail.
+		qp.nic.Stats.GoBackN++
+		if qp.sndNxt > e {
+			qp.sndNxt = e
+		}
+	}
+	qp.trySend()
+}
+
+// ---- responder side ----
+
+func (qp *QP) handleData(p *simnet.Packet) {
+	qp.nic.Stats.DataRecv++
+	cfg := qp.nic.Cfg
+	now := qp.eng.Now()
+	if p.ECN && now-qp.lastCNP >= cfg.CNPInterval {
+		qp.lastCNP = now
+		qp.nic.Stats.CNPsSent++
+		qp.nic.Host.Send(&simnet.Packet{
+			Type: simnet.CNP, Src: qp.nic.Host.IP, Dst: p.Src,
+			SrcQP: qp.QPN, DstQP: p.SrcQP,
+		})
+	}
+	switch {
+	case p.PSN == qp.rqPSN:
+		qp.ingest(p.Payload, p.Last, p.MsgID, p.WriteVA, p.WriteRKey, p.Value, p)
+		// IRN: the gap closed; drain whatever was buffered behind it.
+		for qp.ooo != nil {
+			o, ok := qp.ooo[qp.rqPSN]
+			if !ok {
+				break
+			}
+			delete(qp.ooo, qp.rqPSN)
+			qp.ingest(o.payload, o.last, o.msgID, o.va, o.rkey, o.value, p)
+		}
+		if qp.ackDue {
+			qp.ackDue = false
+			qp.sinceAck = 0
+			qp.sendAck(p)
+		}
+	case p.PSN > qp.rqPSN:
+		if qp.nic.Cfg.IRN {
+			// Selective repeat: buffer out-of-order data and name the gap.
+			if _, dup := qp.ooo[p.PSN]; dup {
+				qp.nic.Stats.DupData++
+			} else {
+				qp.ooo[p.PSN] = oooPkt{
+					payload: p.Payload, last: p.Last, msgID: p.MsgID,
+					va: p.WriteVA, rkey: p.WriteRKey, value: p.Value,
+				}
+			}
+			if qp.rqPSN != qp.lastNackedPSN || now-qp.lastNackedAt >= cfg.RetxTimeout/8 {
+				qp.lastNackedPSN, qp.lastNackedAt = qp.rqPSN, now
+				qp.sendNack(p)
+			}
+			return
+		}
+		// Go-back-N: NACK once and drop until the expected PSN shows up.
+		if !qp.nackPending {
+			qp.nackPending = true
+			qp.sendNack(p)
+		}
+	default:
+		// Duplicate of an already-received packet: re-ACK so the requester
+		// (or the aggregation tree) can advance.
+		qp.nic.Stats.DupData++
+		qp.sendAck(p)
+	}
+}
+
+// ingest accepts one in-order packet's worth of state: cumulative PSN,
+// message assembly, delivery, and ACK coalescing accounting. ref carries
+// the flow addressing used for feedback and delivery metadata.
+func (qp *QP) ingest(payload int, last bool, msgID uint64, va uint64, rkey uint32, value float64, ref *simnet.Packet) {
+	qp.rqPSN++
+	qp.nackPending = false
+	qp.GoodputBytes += uint64(payload)
+	if va != 0 || rkey != 0 {
+		qp.curVA, qp.curRKey = va, rkey
+	}
+	if value != 0 {
+		qp.curValue = value
+	}
+	qp.curBytes += payload
+	qp.sinceAck++
+	if last {
+		m := Message{
+			MsgID: msgID, Size: qp.curBytes, Src: ref.Src, SrcQP: ref.SrcQP,
+			WriteVA: qp.curVA, WriteRKey: qp.curRKey, Value: qp.curValue,
+		}
+		qp.curBytes, qp.curVA, qp.curRKey, qp.curValue = 0, 0, 0, 0
+		if qp.OnMessage != nil {
+			qp.nic.stackDefer(qp.nic.Cfg.DeliverOverhead, func() { qp.OnMessage(m) })
+		}
+	}
+	if last || qp.sinceAck >= qp.nic.Cfg.AckEvery {
+		qp.ackDue = true
+	}
+}
+
+func (qp *QP) sendNack(ref *simnet.Packet) {
+	qp.nic.Stats.NacksSent++
+	qp.nic.Host.Send(&simnet.Packet{
+		Type: simnet.Nack, Src: qp.nic.Host.IP, Dst: ref.Src,
+		SrcQP: qp.QPN, DstQP: ref.SrcQP, PSN: qp.rqPSN,
+	})
+}
+
+func (qp *QP) sendAck(p *simnet.Packet) {
+	qp.nic.Stats.AcksSent++
+	qp.nic.Host.Send(&simnet.Packet{
+		Type: simnet.Ack, Src: qp.nic.Host.IP, Dst: p.Src,
+		SrcQP: qp.QPN, DstQP: p.SrcQP, PSN: qp.rqPSN - 1,
+	})
+}

@@ -1,0 +1,139 @@
+package roce
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Stats aggregates transport counters across an RNIC's QPs.
+type Stats struct {
+	DataSent      uint64
+	DataRecv      uint64
+	AcksSent      uint64
+	AcksRecv      uint64
+	NacksSent     uint64
+	NacksRecv     uint64
+	CNPsSent      uint64
+	CNPsRecv      uint64
+	GoBackN       uint64 // NACK-triggered rewinds (go-back-N mode)
+	SelectiveRetx uint64 // NACK-triggered single-packet repairs (IRN mode)
+	Timeouts      uint64 // RTO-triggered rewinds
+	Retransmits   uint64 // retransmitted data packets
+	DupData       uint64 // duplicate (already received) data packets seen
+}
+
+// RNIC models the host NIC's RoCE engine: it owns the QPs, dispatches
+// received packets, and serializes end-host stack costs on a single
+// CPU-like resource (posts and deliveries contend, which is what makes
+// AMcast relays expensive).
+type RNIC struct {
+	Host *simnet.Host
+	Cfg  Config
+
+	// CtrlHandler receives packets that are not RoCE transport traffic
+	// (MRP registration, raw application control).
+	CtrlHandler func(p *simnet.Packet)
+
+	Stats Stats
+
+	eng     *sim.Engine
+	qps     map[uint32]*QP
+	nextQPN uint32
+	nextMsg uint64
+	cpuNext sim.Time
+
+	// blocked holds QPs deferred by NIC backpressure, resumed on drain.
+	blocked []*QP
+}
+
+// NewRNIC attaches a RoCE engine to a host and installs itself as the
+// host's packet handler.
+func NewRNIC(h *simnet.Host, cfg Config) *RNIC {
+	r := &RNIC{Host: h, Cfg: cfg, eng: h.Engine(), qps: make(map[uint32]*QP), nextQPN: 2}
+	h.Handler = r.receive
+	// NIC backpressure: QPs stop injecting when the egress queue holds a
+	// few packets (or the link is PFC-paused) and resume as it drains,
+	// instead of overrunning a drop-tail queue.
+	h.NIC.LowWater = 2 * (cfg.MTU + simnet.WireOverhead)
+	h.NIC.OnDrain = r.kick
+	return r
+}
+
+// nicBackpressured reports whether QPs should hold off injecting.
+func (r *RNIC) nicBackpressured() bool {
+	nic := r.Host.NIC
+	return nic.Paused() || nic.QueuedBytes() > 4*(r.Cfg.MTU+simnet.WireOverhead)
+}
+
+// defer1 parks a QP until the NIC drains.
+func (r *RNIC) defer1(qp *QP) {
+	if qp.backpressured {
+		return
+	}
+	qp.backpressured = true
+	r.blocked = append(r.blocked, qp)
+}
+
+// kick resumes every parked QP.
+func (r *RNIC) kick() {
+	if len(r.blocked) == 0 {
+		return
+	}
+	qs := r.blocked
+	r.blocked = nil
+	for _, qp := range qs {
+		qp.backpressured = false
+		qp.trySend()
+	}
+}
+
+// Engine returns the simulation engine.
+func (r *RNIC) Engine() *sim.Engine { return r.eng }
+
+// CreateQP allocates a queue pair. QPN 0 and 1 are reserved (1 is the
+// Cepheus virtual remote QPN).
+func (r *RNIC) CreateQP() *QP {
+	qp := newQP(r, r.nextQPN)
+	r.qps[r.nextQPN] = qp
+	r.nextQPN++
+	return qp
+}
+
+// QP returns the queue pair with the given number, or nil.
+func (r *RNIC) QP(qpn uint32) *QP { return r.qps[qpn] }
+
+// stackDefer runs fn after cost nanoseconds of serialized host-stack time.
+// The stack is a single serial resource: concurrent posts/deliveries queue
+// behind each other, which bounds message rate the way a real verbs stack
+// and CPU core do.
+func (r *RNIC) stackDefer(cost sim.Time, fn func()) {
+	start := r.eng.Now()
+	if r.cpuNext > start {
+		start = r.cpuNext
+	}
+	r.cpuNext = start + cost
+	r.eng.Schedule(r.cpuNext, fn)
+}
+
+func (r *RNIC) receive(p *simnet.Packet) {
+	switch p.Type {
+	case simnet.Data, simnet.Ack, simnet.Nack, simnet.CNP:
+		qp, ok := r.qps[p.DstQP]
+		if !ok {
+			// Packets to a torn-down or unknown QP are dropped silently,
+			// as an RNIC drops packets with no matching QP context.
+			return
+		}
+		qp.handle(p)
+	default:
+		if r.CtrlHandler != nil {
+			r.CtrlHandler(p)
+		}
+	}
+}
+
+func (r *RNIC) String() string {
+	return fmt.Sprintf("rnic(%s)", r.Host.Name)
+}

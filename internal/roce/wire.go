@@ -1,0 +1,193 @@
+package roce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Wire codec for the RoCEv2 headers the simulator models. The simulator
+// moves typed Packet structs for speed, but the header layout matters for
+// fidelity: Cepheus' connection bridging rewrites exactly these fields
+// (dstQP, PSN, the WRITE RETH, and the IP addresses), and its feedback
+// handling parses them. The codec round-trips every transport packet type
+// through the same 24-bit wire PSN the BTH carries, so the virtual-PSN
+// simplification (see psn.go) is exercised at the packet boundary.
+
+// Opcode is the BTH opcode (RC subset used here).
+type Opcode uint8
+
+// RC opcodes (values follow the InfiniBand spec's RC opcode space).
+const (
+	OpSendOnly    Opcode = 0x04
+	OpWriteFirst  Opcode = 0x06
+	OpWriteMiddle Opcode = 0x07
+	OpWriteLast   Opcode = 0x08
+	OpWriteOnly   Opcode = 0x0A
+	OpAcknowledge Opcode = 0x11
+	OpCNP         Opcode = 0x81 // RoCEv2 CNP (reserved opcode space)
+)
+
+// Header sizes in bytes.
+const (
+	bthBytes  = 12
+	aethBytes = 4
+	rethBytes = 16
+	ipv4Bytes = 20
+	udpBytes  = 8
+)
+
+// AETH syndromes (top bits of the syndrome byte).
+const (
+	synAck  = 0x00
+	synNack = 0x60 // PSN sequence error NAK
+)
+
+// WireHeader is the decoded transport header of a packet.
+type WireHeader struct {
+	Opcode Opcode
+	Src    simnet.Addr
+	Dst    simnet.Addr
+	DstQP  uint32
+	PSN    uint32 // 24-bit wire PSN
+	AckReq bool
+
+	// AETH (feedback packets)
+	Nack bool
+
+	// RETH (first/only WRITE packet)
+	HasRETH bool
+	VA      uint64
+	RKey    uint32
+	DMALen  uint32
+}
+
+// EncodeHeader serializes IPv4+UDP+BTH (+AETH/RETH) into buf and returns
+// the number of bytes written. buf must have at least MaxHeaderBytes.
+func EncodeHeader(buf []byte, h *WireHeader) int {
+	// IPv4 (only the fields the data plane reads: src, dst).
+	buf[0] = 0x45
+	binary.BigEndian.PutUint32(buf[12:16], uint32(h.Src))
+	binary.BigEndian.PutUint32(buf[16:20], uint32(h.Dst))
+	// UDP: RoCEv2 destination port 4791.
+	binary.BigEndian.PutUint16(buf[ipv4Bytes+2:], 4791)
+	// BTH.
+	b := buf[ipv4Bytes+udpBytes:]
+	b[0] = byte(h.Opcode)
+	b[1] = 0
+	binary.BigEndian.PutUint16(b[2:4], 0xFFFF) // pkey
+	putUint24(b[5:8], h.DstQP)
+	if h.AckReq {
+		b[8] = 0x80
+	} else {
+		b[8] = 0
+	}
+	putUint24(b[9:12], h.PSN&psnMask)
+	n := ipv4Bytes + udpBytes + bthBytes
+	switch {
+	case h.Opcode == OpAcknowledge:
+		a := buf[n:]
+		if h.Nack {
+			a[0] = synNack
+		} else {
+			a[0] = synAck
+		}
+		putUint24(a[1:4], h.PSN&psnMask) // MSN mirror (diagnostic)
+		n += aethBytes
+	case h.HasRETH:
+		r := buf[n:]
+		binary.BigEndian.PutUint64(r[0:8], h.VA)
+		binary.BigEndian.PutUint32(r[8:12], h.RKey)
+		binary.BigEndian.PutUint32(r[12:16], h.DMALen)
+		n += rethBytes
+	}
+	return n
+}
+
+// MaxHeaderBytes is the largest encoded header (IPv4+UDP+BTH+RETH).
+const MaxHeaderBytes = ipv4Bytes + udpBytes + bthBytes + rethBytes
+
+// DecodeHeader parses a header previously produced by EncodeHeader.
+func DecodeHeader(buf []byte) (*WireHeader, error) {
+	if len(buf) < ipv4Bytes+udpBytes+bthBytes {
+		return nil, errors.New("roce: short header")
+	}
+	if buf[0]>>4 != 4 {
+		return nil, fmt.Errorf("roce: not IPv4 (version %d)", buf[0]>>4)
+	}
+	h := &WireHeader{
+		Src: simnet.Addr(binary.BigEndian.Uint32(buf[12:16])),
+		Dst: simnet.Addr(binary.BigEndian.Uint32(buf[16:20])),
+	}
+	if port := binary.BigEndian.Uint16(buf[ipv4Bytes+2:]); port != 4791 {
+		return nil, fmt.Errorf("roce: UDP port %d is not RoCEv2", port)
+	}
+	b := buf[ipv4Bytes+udpBytes:]
+	h.Opcode = Opcode(b[0])
+	h.DstQP = uint24(b[5:8])
+	h.AckReq = b[8]&0x80 != 0
+	h.PSN = uint24(b[9:12])
+	n := ipv4Bytes + udpBytes + bthBytes
+	switch {
+	case h.Opcode == OpAcknowledge:
+		if len(buf) < n+aethBytes {
+			return nil, errors.New("roce: short AETH")
+		}
+		h.Nack = buf[n]&0xE0 == synNack
+	case h.Opcode == OpWriteFirst || h.Opcode == OpWriteOnly:
+		if len(buf) < n+rethBytes {
+			return nil, errors.New("roce: short RETH")
+		}
+		r := buf[n:]
+		h.HasRETH = true
+		h.VA = binary.BigEndian.Uint64(r[0:8])
+		h.RKey = binary.BigEndian.Uint32(r[8:12])
+		h.DMALen = binary.BigEndian.Uint32(r[12:16])
+	}
+	return h, nil
+}
+
+// HeaderFor derives the wire header of a simulated packet. msgBytes is the
+// message's total length (RETH DMALen); firstOfWrite marks the packet that
+// carries the RETH.
+func HeaderFor(p *simnet.Packet, msgBytes int) *WireHeader {
+	h := &WireHeader{
+		Src: p.Src, Dst: p.Dst, DstQP: p.DstQP,
+		PSN: WirePSN(p.PSN), AckReq: p.Last,
+	}
+	switch p.Type {
+	case simnet.Data:
+		if p.WriteVA != 0 || p.WriteRKey != 0 {
+			h.Opcode = OpWriteFirst
+			if p.Last {
+				h.Opcode = OpWriteOnly
+			}
+			h.HasRETH = true
+			h.VA = p.WriteVA
+			h.RKey = p.WriteRKey
+			h.DMALen = uint32(msgBytes)
+		} else {
+			h.Opcode = OpSendOnly
+		}
+	case simnet.Ack:
+		h.Opcode = OpAcknowledge
+	case simnet.Nack:
+		h.Opcode = OpAcknowledge
+		h.Nack = true
+	case simnet.CNP:
+		h.Opcode = OpCNP
+	}
+	return h
+}
+
+func putUint24(b []byte, v uint32) {
+	b[0] = byte(v >> 16)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v)
+}
+
+func uint24(b []byte) uint32 {
+	return uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])
+}

@@ -1,0 +1,182 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps a virtual clock in nanoseconds and executes scheduled
+// callbacks in timestamp order. Events scheduled at the same instant run in
+// the order they were scheduled, which keeps runs bit-for-bit reproducible
+// for a given seed. Everything above it — links, switches, RNICs, the Cepheus
+// accelerator — is built as callbacks on this engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point on the virtual clock, in nanoseconds since simulation start.
+type Time int64
+
+// Convenient duration units, expressed as Time deltas.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < 2*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < 2*Millisecond:
+		return fmt.Sprintf("%.2fus", t.Micros())
+	case t < 2*Second:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// Engine is a single-threaded discrete-event scheduler with a seeded RNG.
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	nRun    uint64
+}
+
+// New returns an engine whose RNG is seeded with seed. Two engines built with
+// the same seed and driven by the same code execute identical schedules.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// EventsRun reports how many events have executed so far.
+func (e *Engine) EventsRun() uint64 { return e.nRun }
+
+// Pending reports how many events are currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at absolute time at. It panics if at precedes Now, since a
+// causal model can never schedule into the past.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d nanoseconds from now. A negative d panics via Schedule.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// prevented the callback from running.
+func (t *Timer) Stop() bool {
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Fired reports whether the callback has already run.
+func (t *Timer) Fired() bool { return t.fired }
+
+// AfterTimer schedules fn after d and returns a handle that can cancel it.
+func (e *Engine) AfterTimer(d Time, fn func()) *Timer {
+	t := &Timer{}
+	e.After(d, func() {
+		if t.stopped {
+			return
+		}
+		t.fired = true
+		fn()
+	})
+	return t
+}
+
+// Step executes the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.events.empty() || e.stopped {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.nRun++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for !e.events.empty() && !e.stopped && e.events.peek().at <= t {
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for d virtual nanoseconds from now.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Stop halts Run/RunUntil after the current event. Further Step calls return
+// false until Resume.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Resume clears a Stop so the engine can run again.
+func (e *Engine) Resume() { e.stopped = false }

@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures raw event throughput: the budget every
+// packet-level experiment spends.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if i%1024 == 0 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineChained measures the self-scheduling pattern ports and
+// QPs use (each event schedules the next).
+func BenchmarkEngineChained(b *testing.B) {
+	e := New(1)
+	n := 0
+	var next func()
+	next = func() {
+		n++
+		if n < b.N {
+			e.After(10, next)
+		}
+	}
+	b.ReportAllocs()
+	e.After(10, next)
+	e.Run()
+}
+
+// BenchmarkTimerChurn measures arm/cancel cycles (RTO management).
+func BenchmarkTimerChurn(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := e.AfterTimer(1000, func() {})
+		t.Stop()
+		if i%4096 == 0 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

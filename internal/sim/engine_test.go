@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestFIFOAtSameTimestamp(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(42, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-timestamp events reordered at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New(1)
+	e.Schedule(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	e.Schedule(50, func() {})
+}
+
+func TestAfterNested(t *testing.T) {
+	e := New(1)
+	var at []Time
+	e.After(10, func() {
+		at = append(at, e.Now())
+		e.After(5, func() { at = append(at, e.Now()) })
+	})
+	e.Run()
+	if len(at) != 2 || at[0] != 10 || at[1] != 15 {
+		t.Fatalf("nested After times = %v", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(20, func() { ran++ })
+	e.Schedule(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New(1)
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("clock = %v, want 1000", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.AfterTimer(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on pending timer")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.AfterTimer(10, func() { fired = true })
+	e.Run()
+	if !fired || !tm.Fired() {
+		t.Fatal("timer did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+func TestStopResume(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.Schedule(10, func() { ran++; e.Stop() })
+	e.Schedule(20, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("ran %d after Stop, want 1", ran)
+	}
+	e.Resume()
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d after Resume, want 2", ran)
+	}
+}
+
+func TestDeterminismAcrossSeededRuns(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := New(seed)
+		var order []Time
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 500; i++ {
+			at := Time(rng.Int63n(10000))
+			e.Schedule(at, func() {
+				order = append(order, e.Now())
+				// Random follow-up work exercises the engine's RNG too.
+				if e.Rand().Intn(4) == 0 {
+					e.After(Time(e.Rand().Int63n(100)), func() {
+						order = append(order, e.Now())
+					})
+				}
+			})
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(99), run(99)
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always execute in non-decreasing timestamp order no matter
+// the insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New(1)
+		var got []Time
+		for _, at := range times {
+			at := Time(at)
+			e.Schedule(at, func() { got = append(got, at) })
+		}
+		e.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{12 * Microsecond, "12.00us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Device is anything that terminates a link: a host NIC or a switch.
+type Device interface {
+	// Receive is called when a packet finishes arriving on one of the
+	// device's ports.
+	Receive(p *Packet, in *Port)
+	// DeviceName identifies the device in traces and errors.
+	DeviceName() string
+}
+
+// ECNConfig is RED-style marking at an egress queue, as DCQCN expects.
+// A packet is CE-marked with probability 0 below KminBytes, PMax above
+// KmaxBytes, and linearly in between, evaluated against the instantaneous
+// queue depth at enqueue.
+type ECNConfig struct {
+	Enabled   bool
+	KminBytes int
+	KmaxBytes int
+	PMax      float64
+}
+
+// DefaultECN is the marking profile used on 100Gbps ports (see DESIGN.md §5).
+var DefaultECN = ECNConfig{Enabled: true, KminBytes: 100 << 10, KmaxBytes: 400 << 10, PMax: 0.2}
+
+// PortStats counts what happened on a port's egress side.
+type PortStats struct {
+	TxPackets  uint64
+	TxBytes    uint64
+	Drops      uint64
+	ECNMarks   uint64
+	MaxQueued  int
+	PauseSent  uint64
+	ResumeSent uint64
+}
+
+// Port is one end of a full-duplex link. The port owns its egress queue and
+// serializes transmissions at the link rate; the peer's device receives each
+// packet after the serialization plus propagation delay.
+type Port struct {
+	Dev  Device
+	ID   int // index within the owning device
+	Peer *Port
+
+	RateBps   float64  // link bandwidth in bits/second
+	PropDelay sim.Time // one-way propagation (plus per-hop pipeline) delay
+
+	QueueLimit int // egress queue capacity in bytes (0 = unlimited)
+	ECN        ECNConfig
+
+	// Backpressure to the attached sender: when the queue drains to
+	// LowWater bytes or below (and after a PFC resume), OnDrain fires so a
+	// transport can resume injecting — the way an RNIC stops posting to a
+	// paused or full MAC instead of dropping.
+	LowWater int
+	OnDrain  func()
+
+	Stats PortStats
+
+	eng    *sim.Engine
+	queues [2][]*Packet // [0] control/feedback (strict priority), [1] data
+	qBytes int
+	busy   bool
+	paused bool
+}
+
+// queue classes (Fig 7a's queue system: physical-queue-level isolation,
+// with the multiplexer giving feedback strict priority over bulk data).
+const (
+	qCtrl = 0
+	qData = 1
+)
+
+func classOf(p *Packet) int {
+	switch p.Type {
+	case Data, Raw:
+		return qData
+	default:
+		return qCtrl
+	}
+}
+
+// NewPort creates an unconnected port owned by dev.
+func NewPort(eng *sim.Engine, dev Device, rateBps float64, prop sim.Time) *Port {
+	return &Port{Dev: dev, RateBps: rateBps, PropDelay: prop, eng: eng, QueueLimit: 4 << 20}
+}
+
+// Connect wires two ports as a full-duplex link. Both sides must be
+// unconnected.
+func Connect(a, b *Port) {
+	if a.Peer != nil || b.Peer != nil {
+		panic("simnet: port already connected")
+	}
+	a.Peer = b
+	b.Peer = a
+}
+
+// QueuedBytes reports the egress queue depth.
+func (pt *Port) QueuedBytes() int { return pt.qBytes }
+
+// Paused reports whether PFC has paused this egress.
+func (pt *Port) Paused() bool { return pt.paused }
+
+// PeerIsHost reports whether the far end of the link is a host. The Cepheus
+// accelerator uses this to decide where feedback header rewriting happens
+// (at the leaf switch adjacent to the sender).
+func (pt *Port) PeerIsHost() bool {
+	if pt.Peer == nil {
+		return false
+	}
+	_, ok := pt.Peer.Dev.(*Host)
+	return ok
+}
+
+// TxTime returns the serialization delay for n bytes at this port's rate.
+func (pt *Port) TxTime(n int) sim.Time {
+	return sim.Time(float64(n*8) / pt.RateBps * 1e9)
+}
+
+// Send enqueues p for transmission, applying ECN marking and drop-tail.
+func (pt *Port) Send(p *Packet) {
+	pt.enqueue(p, false)
+}
+
+// SendUrgent enqueues p at the head of the control queue, bypassing ECN
+// and the queue limit. It is used for PFC PAUSE/RESUME frames, which a
+// real switch emits from a dedicated high-priority path.
+func (pt *Port) SendUrgent(p *Packet) {
+	pt.queues[qCtrl] = append([]*Packet{p}, pt.queues[qCtrl]...)
+	pt.qBytes += p.Size()
+	pt.trySend()
+}
+
+func (pt *Port) enqueue(p *Packet, urgent bool) {
+	size := p.Size()
+	if pt.QueueLimit > 0 && pt.qBytes+size > pt.QueueLimit {
+		pt.Stats.Drops++
+		if p.acct != nil {
+			// The packet never occupied the queue; nothing to release.
+			p.acct = nil
+		}
+		return
+	}
+	if pt.ECN.Enabled && p.Type == Data && pt.markProbability() > 0 {
+		if pt.eng.Rand().Float64() < pt.markProbability() {
+			p.ECN = true
+			pt.Stats.ECNMarks++
+		}
+	}
+	if p.acct != nil {
+		p.acct.add(size)
+	}
+	cls := classOf(p)
+	pt.queues[cls] = append(pt.queues[cls], p)
+	pt.qBytes += size
+	if pt.qBytes > pt.Stats.MaxQueued {
+		pt.Stats.MaxQueued = pt.qBytes
+	}
+	pt.trySend()
+}
+
+func (pt *Port) markProbability() float64 {
+	q := pt.qBytes
+	switch {
+	case q <= pt.ECN.KminBytes:
+		return 0
+	case q >= pt.ECN.KmaxBytes:
+		return 1
+	default:
+		return pt.ECN.PMax * float64(q-pt.ECN.KminBytes) / float64(pt.ECN.KmaxBytes-pt.ECN.KminBytes)
+	}
+}
+
+func (pt *Port) trySend() {
+	if pt.busy || pt.paused || pt.qBytes == 0 {
+		return
+	}
+	if pt.Peer == nil {
+		panic(fmt.Sprintf("simnet: %s port %d transmitting on unconnected link", pt.Dev.DeviceName(), pt.ID))
+	}
+	// Strict priority: drain control/feedback before bulk data.
+	cls := qCtrl
+	if len(pt.queues[qCtrl]) == 0 {
+		cls = qData
+	}
+	if len(pt.queues[cls]) == 0 {
+		return
+	}
+	p := pt.queues[cls][0]
+	pt.queues[cls] = pt.queues[cls][1:]
+	size := p.Size()
+	pt.qBytes -= size
+	pt.busy = true
+	tx := pt.TxTime(size)
+	pt.Stats.TxPackets++
+	pt.Stats.TxBytes += uint64(size)
+	peer := pt.Peer
+	pt.eng.After(tx, func() {
+		pt.busy = false
+		if p.acct != nil {
+			p.acct.release(size)
+			p.acct = nil
+		}
+		if pt.OnDrain != nil && pt.qBytes <= pt.LowWater {
+			pt.OnDrain()
+		}
+		pt.trySend()
+	})
+	pt.eng.After(tx+pt.PropDelay, func() {
+		peer.Dev.Receive(p, peer)
+	})
+}
+
+// setPaused flips PFC pause state on this egress.
+func (pt *Port) setPaused(v bool) {
+	pt.paused = v
+	if !v {
+		if pt.OnDrain != nil && pt.qBytes <= pt.LowWater {
+			pt.OnDrain()
+		}
+		pt.trySend()
+	}
+}

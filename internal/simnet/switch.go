@@ -1,0 +1,178 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SwitchHook lets the Cepheus accelerator (internal/core) sit in the
+// forwarding path, the way the paper's FPGA board is attached to the
+// Ethernet switch via ACL redirection. Handle returns true when it consumed
+// the packet; false falls through to normal unicast forwarding.
+type SwitchHook interface {
+	Handle(sw *Switch, p *Packet, in *Port) bool
+}
+
+// PFCConfig enables priority flow control with ingress-buffer thresholds.
+// The model uses explicit PAUSE/RESUME rather than timed quanta; the
+// hysteresis between XOFF and XON plays the role of pause refreshing.
+type PFCConfig struct {
+	Enabled   bool
+	XOffBytes int
+	XOnBytes  int
+}
+
+// DefaultPFC is the lossless profile from DESIGN.md §5.
+var DefaultPFC = PFCConfig{Enabled: true, XOffBytes: 2 << 20, XOnBytes: 1 << 20}
+
+// ingressAccount tracks, per ingress port, how many bytes received on that
+// port currently sit in this switch's egress queues. Crossing XOFF pauses
+// the upstream transmitter; draining below XON resumes it.
+type ingressAccount struct {
+	sw     *Switch
+	in     *Port
+	bytes  int
+	paused bool
+}
+
+func (a *ingressAccount) add(n int) {
+	a.bytes += n
+	cfg := a.sw.PFC
+	if cfg.Enabled && !a.paused && a.bytes >= cfg.XOffBytes {
+		a.paused = true
+		a.in.Stats.PauseSent++
+		a.in.SendUrgent(&Packet{Type: Pause})
+	}
+}
+
+func (a *ingressAccount) release(n int) {
+	a.bytes -= n
+	cfg := a.sw.PFC
+	if cfg.Enabled && a.paused && a.bytes <= cfg.XOnBytes {
+		a.paused = false
+		a.in.Stats.ResumeSent++
+		a.in.SendUrgent(&Packet{Type: Resume})
+	}
+}
+
+// Switch is a store-and-forward Ethernet switch with per-egress queues,
+// ECMP unicast forwarding, optional PFC, optional random loss injection,
+// and an optional accelerator hook.
+type Switch struct {
+	Name string
+	PFC  PFCConfig
+
+	// FIB maps a destination address to the set of equal-cost egress ports;
+	// flows are hashed onto one of them.
+	FIB map[Addr][]int
+
+	// Hook, when set, sees every packet before unicast forwarding.
+	Hook SwitchHook
+
+	// LossRate drops each forwarded Data packet with this probability,
+	// emulating the paper's "randomly discarding packets in the middle
+	// switches" (Fig 13).
+	LossRate float64
+
+	// DataDrops counts loss-injected discards.
+	DataDrops uint64
+
+	Ports    []*Port
+	accounts []*ingressAccount
+
+	eng *sim.Engine
+}
+
+// NewSwitch creates a switch with no ports.
+func NewSwitch(eng *sim.Engine, name string) *Switch {
+	return &Switch{Name: name, eng: eng, FIB: make(map[Addr][]int)}
+}
+
+// DeviceName implements Device.
+func (sw *Switch) DeviceName() string { return sw.Name }
+
+// Engine returns the simulation engine driving this switch.
+func (sw *Switch) Engine() *sim.Engine { return sw.eng }
+
+// AddPort creates a new port on the switch and returns it. Switch egress
+// queues are not drop-tail bounded: shared-buffer occupancy is governed by
+// PFC ingress accounting (when enabled), matching a lossless RoCE fabric;
+// set QueueLimit explicitly to model a shallow-buffer switch.
+func (sw *Switch) AddPort(rateBps float64, prop sim.Time) *Port {
+	p := NewPort(sw.eng, sw, rateBps, prop)
+	p.ID = len(sw.Ports)
+	p.QueueLimit = 0
+	p.ECN = DefaultECN
+	sw.Ports = append(sw.Ports, p)
+	sw.accounts = append(sw.accounts, &ingressAccount{sw: sw, in: p})
+	return p
+}
+
+// NumPorts returns the port count.
+func (sw *Switch) NumPorts() int { return len(sw.Ports) }
+
+// Receive implements Device.
+func (sw *Switch) Receive(p *Packet, in *Port) {
+	switch p.Type {
+	case Pause:
+		in.setPaused(true)
+		return
+	case Resume:
+		in.setPaused(false)
+		return
+	}
+	if sw.Hook != nil && sw.Hook.Handle(sw, p, in) {
+		return
+	}
+	sw.Forward(p, in)
+}
+
+// Forward routes p by its destination address using the FIB.
+func (sw *Switch) Forward(p *Packet, in *Port) {
+	ports, ok := sw.FIB[p.Dst]
+	if !ok || len(ports) == 0 {
+		panic(fmt.Sprintf("simnet: %s has no route to %v (%v)", sw.Name, p.Dst, p))
+	}
+	out := ports[0]
+	if len(ports) > 1 {
+		out = ports[flowHash(p)%uint32(len(ports))]
+	}
+	sw.Output(p, out, in)
+}
+
+// Output transmits p through egress port out, applying loss injection and
+// PFC ingress accounting. in may be nil for locally generated packets.
+func (sw *Switch) Output(p *Packet, out int, in *Port) {
+	if sw.LossRate > 0 && p.Type == Data && sw.eng.Rand().Float64() < sw.LossRate {
+		sw.DataDrops++
+		return
+	}
+	if sw.PFC.Enabled && in != nil && in.Dev == Device(sw) {
+		p.acct = sw.accounts[in.ID]
+	}
+	sw.Ports[out].Send(p)
+}
+
+// AddRoute appends an equal-cost egress port for dst.
+func (sw *Switch) AddRoute(dst Addr, port int) {
+	sw.FIB[dst] = append(sw.FIB[dst], port)
+}
+
+// flowHash spreads flows across ECMP members (FNV-1a over the 5-tuple-ish
+// fields).
+func flowHash(p *Packet) uint32 {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= 16777619
+			v >>= 8
+		}
+	}
+	mix(uint32(p.Src))
+	mix(uint32(p.Dst))
+	mix(p.SrcQP)
+	mix(p.DstQP)
+	return h
+}

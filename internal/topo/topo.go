@@ -1,0 +1,262 @@
+// Package topo builds the network topologies the paper evaluates on: the
+// 4-server single-switch testbed (§IV) and the 1024-server 3-layer fat-tree
+// with 1:1 oversubscription used in the ns-3 simulations (§V-C). It also
+// computes shortest-path ECMP unicast forwarding tables, which Cepheus MRP
+// registration consults to pick multicast routing ports.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// DefaultLinkRate is 100 Gbps, matching both the testbed RNICs and the
+// simulated fat-tree.
+const DefaultLinkRate = 100e9
+
+// DefaultPropDelay is the per-hop propagation plus switch pipeline delay.
+const DefaultPropDelay = 600 * sim.Nanosecond
+
+// Network is a built topology: hosts, switches, and the wiring between them.
+type Network struct {
+	Eng      *sim.Engine
+	Hosts    []*simnet.Host
+	Switches []*simnet.Switch
+
+	// LinkRate and PropDelay record the parameters the network was built
+	// with, so transports can size windows from the BDP.
+	LinkRate  float64
+	PropDelay sim.Time
+}
+
+// HostIP returns the address of host i. Host addresses are assigned
+// sequentially starting at 10.0.0.1 and never collide with McstIDs.
+func HostIP(i int) simnet.Addr { return simnet.Addr(0x0A000001 + uint32(i)) }
+
+// HostByIP finds a host by address, or nil.
+func (n *Network) HostByIP(ip simnet.Addr) *simnet.Host {
+	i := int(uint32(ip) - 0x0A000001)
+	if i < 0 || i >= len(n.Hosts) {
+		return nil
+	}
+	return n.Hosts[i]
+}
+
+// LeafOf returns the switch a host is directly attached to.
+func (n *Network) LeafOf(h *simnet.Host) *simnet.Switch {
+	sw, ok := h.NIC.Peer.Dev.(*simnet.Switch)
+	if !ok {
+		panic(fmt.Sprintf("topo: host %s not attached to a switch", h.Name))
+	}
+	return sw
+}
+
+// Testbed builds the §IV configuration: nHosts servers on one Ethernet
+// switch. The paper uses four servers with ConnectX-5 100Gbps RNICs.
+func Testbed(eng *sim.Engine, nHosts int) *Network {
+	return TestbedWith(eng, nHosts, DefaultLinkRate, DefaultPropDelay)
+}
+
+// TestbedWith is Testbed with explicit link parameters.
+func TestbedWith(eng *sim.Engine, nHosts int, rate float64, prop sim.Time) *Network {
+	n := &Network{Eng: eng, LinkRate: rate, PropDelay: prop}
+	sw := simnet.NewSwitch(eng, "tor0")
+	sw.PFC = simnet.DefaultPFC
+	n.Switches = []*simnet.Switch{sw}
+	for i := 0; i < nHosts; i++ {
+		h := simnet.NewHost(eng, fmt.Sprintf("h%d", i), HostIP(i), rate, prop)
+		p := sw.AddPort(rate, prop)
+		simnet.Connect(h.NIC, p)
+		sw.AddRoute(h.IP, p.ID)
+		n.Hosts = append(n.Hosts, h)
+	}
+	return n
+}
+
+// FatTree builds a k-ary 3-layer fat-tree with 1:1 oversubscription:
+// k pods, each with k/2 edge and k/2 aggregation switches, (k/2)^2 core
+// switches, and k^3/4 hosts. k=16 yields the paper's 1024-server topology.
+// All links share one rate, so the fabric is rearrangeably non-blocking.
+func FatTree(eng *sim.Engine, k int) *Network {
+	return FatTreeWith(eng, k, DefaultLinkRate, DefaultPropDelay)
+}
+
+// FatTreeWith is FatTree with explicit link parameters.
+func FatTreeWith(eng *sim.Engine, k int, rate float64, prop sim.Time) *Network {
+	if k < 2 || k%2 != 0 {
+		panic("topo: fat-tree arity must be even and >= 2")
+	}
+	n := &Network{Eng: eng, LinkRate: rate, PropDelay: prop}
+	half := k / 2
+
+	newSwitch := func(name string) *simnet.Switch {
+		sw := simnet.NewSwitch(eng, name)
+		sw.PFC = simnet.DefaultPFC
+		n.Switches = append(n.Switches, sw)
+		return sw
+	}
+
+	edges := make([][]*simnet.Switch, k) // [pod][i]
+	aggs := make([][]*simnet.Switch, k)  // [pod][i]
+	cores := make([]*simnet.Switch, 0, half*half)
+
+	for p := 0; p < k; p++ {
+		edges[p] = make([]*simnet.Switch, half)
+		aggs[p] = make([]*simnet.Switch, half)
+		for i := 0; i < half; i++ {
+			edges[p][i] = newSwitch(fmt.Sprintf("edge-p%d-%d", p, i))
+			aggs[p][i] = newSwitch(fmt.Sprintf("agg-p%d-%d", p, i))
+		}
+	}
+	for c := 0; c < half*half; c++ {
+		cores = append(cores, newSwitch(fmt.Sprintf("core-%d", c)))
+	}
+
+	connect := func(a, b *simnet.Switch) {
+		pa := a.AddPort(rate, prop)
+		pb := b.AddPort(rate, prop)
+		simnet.Connect(pa, pb)
+	}
+
+	// Hosts to edge switches.
+	hostID := 0
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				h := simnet.NewHost(eng, fmt.Sprintf("h%d", hostID), HostIP(hostID), rate, prop)
+				pt := edges[p][i].AddPort(rate, prop)
+				simnet.Connect(h.NIC, pt)
+				n.Hosts = append(n.Hosts, h)
+				hostID++
+			}
+		}
+	}
+	// Edge to aggregation (full mesh within pod).
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				connect(edges[p][i], aggs[p][j])
+			}
+		}
+	}
+	// Aggregation to core: agg j in each pod connects to cores
+	// j*half .. j*half+half-1.
+	for p := 0; p < k; p++ {
+		for j := 0; j < half; j++ {
+			for c := 0; c < half; c++ {
+				connect(aggs[p][j], cores[j*half+c])
+			}
+		}
+	}
+
+	buildRoutes(n)
+	return n
+}
+
+// LeafSpine builds a two-tier Clos: leaves hold hostsPerLeaf servers each
+// and connect to every spine. The oversubscription ratio is
+// hostsPerLeaf/spines (1:1 when equal). Useful for experiments that need a
+// flatter fabric or deliberate oversubscription.
+func LeafSpine(eng *sim.Engine, leaves, spines, hostsPerLeaf int) *Network {
+	return LeafSpineWith(eng, leaves, spines, hostsPerLeaf, DefaultLinkRate, DefaultPropDelay)
+}
+
+// LeafSpineWith is LeafSpine with explicit link parameters.
+func LeafSpineWith(eng *sim.Engine, leaves, spines, hostsPerLeaf int, rate float64, prop sim.Time) *Network {
+	if leaves < 1 || spines < 1 || hostsPerLeaf < 1 {
+		panic("topo: leaf-spine dimensions must be positive")
+	}
+	n := &Network{Eng: eng, LinkRate: rate, PropDelay: prop}
+	leafSw := make([]*simnet.Switch, leaves)
+	for l := range leafSw {
+		leafSw[l] = simnet.NewSwitch(eng, fmt.Sprintf("leaf-%d", l))
+		leafSw[l].PFC = simnet.DefaultPFC
+		n.Switches = append(n.Switches, leafSw[l])
+	}
+	for s := 0; s < spines; s++ {
+		sp := simnet.NewSwitch(eng, fmt.Sprintf("spine-%d", s))
+		sp.PFC = simnet.DefaultPFC
+		n.Switches = append(n.Switches, sp)
+		for _, lf := range leafSw {
+			pa := lf.AddPort(rate, prop)
+			pb := sp.AddPort(rate, prop)
+			simnet.Connect(pa, pb)
+		}
+	}
+	hostID := 0
+	for _, lf := range leafSw {
+		for j := 0; j < hostsPerLeaf; j++ {
+			h := simnet.NewHost(eng, fmt.Sprintf("h%d", hostID), HostIP(hostID), rate, prop)
+			pt := lf.AddPort(rate, prop)
+			simnet.Connect(h.NIC, pt)
+			n.Hosts = append(n.Hosts, h)
+			hostID++
+		}
+	}
+	buildRoutes(n)
+	return n
+}
+
+// buildRoutes computes shortest-path ECMP FIB entries for every host
+// destination via BFS from each host across the switch graph.
+func buildRoutes(n *Network) {
+	// Map each switch to an index for the BFS arrays.
+	idx := make(map[*simnet.Switch]int, len(n.Switches))
+	for i, sw := range n.Switches {
+		idx[sw] = i
+	}
+	for _, h := range n.Hosts {
+		leaf, ok := h.NIC.Peer.Dev.(*simnet.Switch)
+		if !ok {
+			continue
+		}
+		dist := make([]int, len(n.Switches))
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue := []*simnet.Switch{leaf}
+		dist[idx[leaf]] = 0
+		for len(queue) > 0 {
+			sw := queue[0]
+			queue = queue[1:]
+			d := dist[idx[sw]]
+			for _, pt := range sw.Ports {
+				peer, ok := pt.Peer.Dev.(*simnet.Switch)
+				if !ok {
+					continue
+				}
+				if dist[idx[peer]] == -1 {
+					dist[idx[peer]] = d + 1
+					queue = append(queue, peer)
+				}
+			}
+		}
+		// Every switch routes toward h via ports whose switch peer is one
+		// hop closer; the leaf routes directly to the host port.
+		for _, sw := range n.Switches {
+			if sw == leaf {
+				for _, pt := range sw.Ports {
+					if pt.Peer.Dev == simnet.Device(h) {
+						sw.AddRoute(h.IP, pt.ID)
+					}
+				}
+				continue
+			}
+			d := dist[idx[sw]]
+			if d == -1 {
+				continue
+			}
+			for _, pt := range sw.Ports {
+				peer, ok := pt.Peer.Dev.(*simnet.Switch)
+				if !ok {
+					continue
+				}
+				if dist[idx[peer]] == d-1 {
+					sw.AddRoute(h.IP, pt.ID)
+				}
+			}
+		}
+	}
+}

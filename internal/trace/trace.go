@@ -1,0 +1,106 @@
+// Package trace provides measurement utilities for experiments: periodic
+// samplers for time-series (throughput curves like Fig 14, queue depth
+// over time) and a packet tap that observes traffic at a switch without
+// disturbing the forwarding path.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Sampler polls a probe on a fixed period of virtual time.
+type Sampler struct {
+	Interval sim.Time
+
+	eng     *sim.Engine
+	probe   func() float64
+	points  []Point
+	stopped bool
+}
+
+// NewSampler starts sampling probe every interval, beginning one interval
+// from now.
+func NewSampler(eng *sim.Engine, interval sim.Time, probe func() float64) *Sampler {
+	s := &Sampler{Interval: interval, eng: eng, probe: probe}
+	s.arm()
+	return s
+}
+
+func (s *Sampler) arm() {
+	s.eng.After(s.Interval, func() {
+		if s.stopped {
+			return
+		}
+		s.points = append(s.points, Point{T: s.eng.Now(), V: s.probe()})
+		s.arm()
+	})
+}
+
+// Stop ends sampling.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// Points returns the collected series.
+func (s *Sampler) Points() []Point { return s.points }
+
+// WriteCSV emits "t_ns,value" rows.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	for _, p := range s.points {
+		if _, err := fmt.Fprintf(w, "%d,%g\n", int64(p.T), p.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RateSampler converts a monotone byte counter into a Gbps series: each
+// sample is the throughput over the last interval.
+func RateSampler(eng *sim.Engine, interval sim.Time, counter func() uint64) *Sampler {
+	last := counter()
+	return NewSampler(eng, interval, func() float64 {
+		cur := counter()
+		delta := cur - last
+		last = cur
+		return float64(delta) * 8 / interval.Seconds() / 1e9
+	})
+}
+
+// Tap observes packets at a switch, delegating forwarding decisions to the
+// wrapped hook (or plain forwarding when Inner is nil). Use it to count or
+// log traffic classes without modifying the data path.
+type Tap struct {
+	Inner  simnet.SwitchHook
+	Filter func(p *simnet.Packet) bool // nil matches everything
+
+	Matched uint64
+	OnMatch func(p *simnet.Packet, in *simnet.Port)
+}
+
+// Install wraps the switch's current hook with the tap.
+func (t *Tap) Install(sw *simnet.Switch) {
+	t.Inner = sw.Hook
+	sw.Hook = t
+}
+
+// Handle implements simnet.SwitchHook.
+func (t *Tap) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) bool {
+	if t.Filter == nil || t.Filter(p) {
+		t.Matched++
+		if t.OnMatch != nil {
+			t.OnMatch(p, in)
+		}
+	}
+	if t.Inner != nil {
+		return t.Inner.Handle(sw, p, in)
+	}
+	return false
+}

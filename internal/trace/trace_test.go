@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+func TestSamplerCollects(t *testing.T) {
+	eng := sim.New(1)
+	v := 0.0
+	s := NewSampler(eng, sim.Millisecond, func() float64 { v++; return v })
+	eng.RunUntil(5 * sim.Millisecond)
+	pts := s.Points()
+	if len(pts) != 5 {
+		t.Fatalf("%d samples in 5ms at 1ms period", len(pts))
+	}
+	for i, p := range pts {
+		if p.T != sim.Time(i+1)*sim.Millisecond || p.V != float64(i+1) {
+			t.Fatalf("sample %d = %+v", i, p)
+		}
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSampler(eng, sim.Millisecond, func() float64 { return 1 })
+	eng.RunUntil(2 * sim.Millisecond)
+	s.Stop()
+	eng.RunUntil(10 * sim.Millisecond)
+	if len(s.Points()) != 2 {
+		t.Fatalf("%d samples after Stop at 2ms", len(s.Points()))
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSampler(eng, sim.Millisecond, func() float64 { return 2.5 })
+	eng.RunUntil(2 * sim.Millisecond)
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "1000000,2.5\n2000000,2.5\n"
+	if b.String() != want {
+		t.Fatalf("csv %q, want %q", b.String(), want)
+	}
+}
+
+func TestRateSampler(t *testing.T) {
+	eng := sim.New(1)
+	var bytes uint64
+	s := RateSampler(eng, sim.Millisecond, func() uint64 { return bytes })
+	// 1.25MB in the first ms = 10 Gbps.
+	eng.After(sim.Millisecond/2, func() { bytes += 1_250_000 })
+	eng.RunUntil(2 * sim.Millisecond)
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("%d samples", len(pts))
+	}
+	if pts[0].V < 9.9 || pts[0].V > 10.1 {
+		t.Fatalf("first window %v Gbps, want 10", pts[0].V)
+	}
+	if pts[1].V != 0 {
+		t.Fatalf("second window %v Gbps, want 0", pts[1].V)
+	}
+}
+
+func TestTapCountsWithoutDisturbing(t *testing.T) {
+	eng := sim.New(1)
+	n := topo.Testbed(eng, 2)
+	tap := &Tap{Filter: func(p *simnet.Packet) bool { return p.Type == simnet.Data }}
+	tap.Install(n.Switches[0])
+	delivered := 0
+	n.Hosts[1].Handler = func(p *simnet.Packet) { delivered++ }
+	for i := 0; i < 3; i++ {
+		n.Hosts[0].Send(&simnet.Packet{Type: simnet.Data, Src: n.Hosts[0].IP, Dst: n.Hosts[1].IP, Payload: 64})
+	}
+	n.Hosts[0].Send(&simnet.Packet{Type: simnet.Ack, Src: n.Hosts[0].IP, Dst: n.Hosts[1].IP})
+	eng.Run()
+	if delivered != 4 {
+		t.Fatalf("tap disturbed forwarding: %d delivered", delivered)
+	}
+	if tap.Matched != 3 {
+		t.Fatalf("tap matched %d, want 3 data packets", tap.Matched)
+	}
+}
+
+func TestTapChainsToInnerHook(t *testing.T) {
+	eng := sim.New(1)
+	n := topo.Testbed(eng, 2)
+	dropAll := hookFunc(func(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) bool { return true })
+	n.Switches[0].Hook = dropAll
+	tap := &Tap{}
+	tap.Install(n.Switches[0])
+	delivered := 0
+	n.Hosts[1].Handler = func(p *simnet.Packet) { delivered++ }
+	n.Hosts[0].Send(&simnet.Packet{Type: simnet.Data, Src: n.Hosts[0].IP, Dst: n.Hosts[1].IP, Payload: 64})
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("inner hook's consume decision was overridden")
+	}
+	if tap.Matched != 1 {
+		t.Fatal("tap did not observe the packet")
+	}
+}
+
+type hookFunc func(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) bool
+
+func (f hookFunc) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) bool {
+	return f(sw, p, in)
+}
