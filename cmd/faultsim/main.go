@@ -1,0 +1,138 @@
+// faultsim runs scripted and seeded fail-stop fault scenarios against the
+// Cepheus recovery pipeline and prints the timeline: fault transitions,
+// scheme switches (native multicast → AMcast fallback → restored native),
+// and the fabric/recovery counters the run ends with. Every run is
+// deterministic in its seed.
+//
+// Usage:
+//
+//	faultsim                          # ToR crash mid-broadcast on the testbed
+//	faultsim -scenario linkdown       # ToR→host access link dies mid-broadcast
+//	faultsim -scenario chaos -events 8 -seed 3   # seeded storm on a leaf-spine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cepheus "repro"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+var (
+	scenario = flag.String("scenario", "crash", "crash|linkdown|chaos")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	size     = flag.Int("size", 64<<20, "bytes per broadcast")
+	bcasts   = flag.Int("bcasts", 4, "broadcasts to complete")
+	events   = flag.Int("events", 6, "chaos: fault episodes to inject")
+	horizon  = flag.Duration("horizon", 0, "chaos: injection window (0: auto)")
+)
+
+func main() {
+	flag.Parse()
+	switch *scenario {
+	case "crash":
+		run(cepheus.NewTestbed(4, cepheus.Options{Seed: *seed}), func(c *cepheus.Cluster, in *fault.Injector) sim.Time {
+			// The ToR fail-stops 2ms into the run and restarts 6ms later
+			// with its MFT wiped.
+			tor := c.Net.Switches[0]
+			in.CrashAt(c.Eng.Now()+2*sim.Millisecond, tor)
+			in.RestartAt(c.Eng.Now()+8*sim.Millisecond, tor)
+			return 0
+		})
+	case "linkdown":
+		run(cepheus.NewTestbed(4, cepheus.Options{Seed: *seed}), func(c *cepheus.Cluster, in *fault.Injector) sim.Time {
+			// The access link of the last member dies mid-broadcast and is
+			// replaced 10ms later.
+			link := in.HostLink(3)
+			in.LinkDownAt(c.Eng.Now()+2*sim.Millisecond, link)
+			in.LinkUpAt(c.Eng.Now()+12*sim.Millisecond, link)
+			return 0
+		})
+	case "chaos":
+		run(cepheus.NewLeafSpine(2, 2, 4, cepheus.Options{Seed: *seed}), func(c *cepheus.Cluster, in *fault.Injector) sim.Time {
+			// Storm the fabric: leaf↔spine links and the spines themselves.
+			var links []*simnet.Port
+			for _, sw := range c.Net.Switches[:2] {
+				for _, pt := range sw.Ports {
+					if _, ok := pt.Peer.Dev.(*simnet.Switch); ok {
+						links = append(links, pt)
+					}
+				}
+			}
+			h := sim.Time(*horizon)
+			if h <= 0 {
+				h = 40 * sim.Millisecond
+			}
+			plan := in.Chaos(fault.ChaosConfig{
+				Seed: *seed, Horizon: h, Events: *events,
+				MinDowntime: 2 * sim.Millisecond, MaxDowntime: 8 * sim.Millisecond,
+				Links: links, Switches: c.Net.Switches[2:], FlapFraction: 0.25,
+			})
+			fmt.Printf("chaos plan (%d episodes):\n", len(plan))
+			for _, ev := range plan {
+				fmt.Printf("  %v\n", ev)
+			}
+			// Keep the workload running past the last repair.
+			return c.Eng.Now() + h + 8*sim.Millisecond
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+}
+
+// run drives resilient broadcasts while the scenario injects faults,
+// printing the merged timeline. inject returns a minimum simulation time to
+// keep broadcasting until (0: just complete -bcasts broadcasts).
+func run(c *cepheus.Cluster, inject func(*cepheus.Cluster, *fault.Injector) sim.Time) {
+	fmt.Printf("scenario=%s seed=%d size=%dB bcasts=%d hosts=%d switches=%d\n",
+		*scenario, *seed, *size, *bcasts, c.Hosts(), len(c.Net.Switches))
+
+	members := make([]int, c.Hosts())
+	for i := range members {
+		members[i] = i
+	}
+	rg, err := c.NewResilientGroup(members, 0, cepheus.RecoveryOptions{
+		Window:          500 * sim.Microsecond,
+		ReprobeInterval: 2 * sim.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "registration failed: %v\n", err)
+		os.Exit(1)
+	}
+	rg.OnEvent = func(ev string) { fmt.Printf("%12v  recovery: %s\n", c.Eng.Now(), ev) }
+
+	in := fault.NewInjector(c.Net)
+	in.OnEvent = func(ev fault.Event) { fmt.Printf("%12v  fault: %s %s\n", ev.At, ev.Kind, ev.Target) }
+	minRuntime := inject(c, in)
+
+	for i := 0; i < *bcasts || c.Eng.Now() < minRuntime; i++ {
+		start := c.Eng.Now()
+		mode := "native"
+		if !rg.Native() {
+			mode = "fallback"
+		}
+		done := false
+		rg.Bcast(0, *size, func() { done = true })
+		for !done {
+			if !c.Eng.Step() || c.Eng.Now()-start > 60*sim.Second {
+				fmt.Fprintf(os.Stderr, "broadcast %d wedged at t=%v (stats=%+v)\n", i, c.Eng.Now(), rg.Stats)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("%12v  bcast %d done: %v (started %s)\n", c.Eng.Now(), i, c.Eng.Now()-start, mode)
+	}
+	// Let the recovery pipeline settle (repairs drain, native restored).
+	limit := c.Eng.Now() + 200*sim.Millisecond
+	for !rg.Native() && c.Eng.Now() < limit && c.Eng.Step() {
+	}
+
+	fmt.Printf("\nfinal mode: native=%v\n", rg.Native())
+	fmt.Printf("recovery: %+v\n", rg.Stats)
+	fmt.Printf("fabric:   %s\n", c.Metrics())
+	fmt.Printf("faults:   %+v\n", in.Stats)
+}

@@ -19,6 +19,10 @@ type AccelConfig struct {
 	// within this window, while the retransmission is already in flight.
 	NackHoldoff sim.Time
 
+	// UnknownGroupNackHoldoff rate-limits the per-group rejection a switch
+	// sends when multicast data arrives for a group it has no MFT for.
+	UnknownGroupNackHoldoff sim.Time
+
 	// DisableRetransFilter turns off §III-D's duplicate-retransmission
 	// filtering (ablation).
 	DisableRetransFilter bool
@@ -36,9 +40,10 @@ type AccelConfig struct {
 // DefaultAccelConfig returns the prototype's configuration.
 func DefaultAccelConfig() AccelConfig {
 	return AccelConfig{
-		MaxGroups:      1024,
-		CNPAgingPeriod: 200 * sim.Microsecond,
-		NackHoldoff:    20 * sim.Microsecond,
+		MaxGroups:               1024,
+		CNPAgingPeriod:          200 * sim.Microsecond,
+		NackHoldoff:             20 * sim.Microsecond,
+		UnknownGroupNackHoldoff: 100 * sim.Microsecond,
 	}
 }
 
@@ -58,6 +63,13 @@ type AccelStats struct {
 	MRPProcessed    uint64
 	MRPRejected     uint64
 	Reduce          ReduceStats
+
+	// Fault/recovery counters.
+	MFTWipes          uint64 // groups lost to a switch crash (volatile MFT)
+	EpochRebuilds     uint64 // MFTs replaced by a newer-epoch registration
+	StaleMRPDropped   uint64 // older-epoch MRP replays discarded
+	UnknownGroupDrops uint64 // multicast data dropped for an unknown group
+	UnknownGroupNacks uint64 // rejections emitted for unknown-group data
 }
 
 // Accel is the Cepheus accelerator attached to one switch. The paper
@@ -76,13 +88,31 @@ type Accel struct {
 	// group-level load balancing MRP performs when picking among ECMP
 	// candidates (§III-C).
 	mgLoad []int
+
+	// lastUnknownNack rate-limits the rejection a switch sends when data
+	// arrives for a group it has no MFT for (post-crash), so a full-rate
+	// sender does not become a control-plane NACK storm.
+	lastUnknownNack map[simnet.Addr]sim.Time
 }
 
-// Attach creates an accelerator and installs it on the switch.
+// Attach creates an accelerator and installs it on the switch. The switch's
+// restart hook is claimed to model the MFT's volatility: a crashed switch
+// comes back with no multicast forwarding state and must be re-registered.
 func Attach(sw *simnet.Switch, cfg AccelConfig) *Accel {
 	a := &Accel{Cfg: cfg, sw: sw, mfts: make(map[simnet.Addr]*MFT)}
 	sw.Hook = a
+	sw.OnRestart = a.onSwitchRestart
 	return a
+}
+
+// onSwitchRestart wipes all volatile accelerator state, as a power cycle of
+// the FPGA board would: every MFT, reduction state, and the load counters.
+func (a *Accel) onSwitchRestart() {
+	a.Stats.MFTWipes += uint64(len(a.mfts))
+	a.mfts = make(map[simnet.Addr]*MFT)
+	a.reduces = nil
+	a.mgLoad = nil
+	a.lastUnknownNack = nil
 }
 
 // MFT returns the switch's table for a group, or nil.
@@ -114,7 +144,14 @@ func (a *Accel) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) boo
 	}
 	mft := a.mfts[p.Dst]
 	if mft == nil {
-		// No registration reached this switch: the group is unknown, drop.
+		// No registration reached this switch — or a crash wiped it. Never
+		// forward blind: drop, and for data packets NACK the source so its
+		// controller learns the tree is gone and re-registers, instead of
+		// the sender discovering the black hole only via safeguard timeout.
+		if p.Type == simnet.Data {
+			a.Stats.UnknownGroupDrops++
+			a.nackUnknownGroup(p)
+		}
 		return true
 	}
 	switch p.Type {
@@ -158,6 +195,20 @@ func (a *Accel) handleMRP(p *simnet.Packet, in *simnet.Port) {
 	pay := p.Meta.(*MRPPayload)
 	a.Stats.MRPProcessed++
 	mft := a.mfts[pay.McstID]
+	if mft != nil && pay.Epoch != mft.Epoch {
+		if staleEpoch(pay.Epoch, mft.Epoch) {
+			// A retransmitted or reordered chunk from a superseded
+			// registration: discard rather than corrupt the live tree.
+			a.Stats.StaleMRPDropped++
+			return
+		}
+		// A newer generation registers: the old tree is dead state. Replace
+		// it wholesale — merged entries from different epochs could route
+		// through links the controller now knows to be gone.
+		a.Stats.EpochRebuilds++
+		mft = nil
+		delete(a.mfts, pay.McstID)
+	}
 	if mft == nil {
 		if a.Cfg.MaxGroups > 0 && len(a.mfts) >= a.Cfg.MaxGroups {
 			a.Stats.MRPRejected++
@@ -165,6 +216,7 @@ func (a *Accel) handleMRP(p *simnet.Packet, in *simnet.Port) {
 			return
 		}
 		mft = NewMFT(pay.McstID, a.sw.NumPorts())
+		mft.Epoch = pay.Epoch
 		a.mfts[pay.McstID] = mft
 	}
 	if a.mgLoad == nil {
@@ -195,7 +247,7 @@ func (a *Accel) handleMRP(p *simnet.Packet, in *simnet.Port) {
 			continue // never reflect registration back upstream
 		}
 		np := newMRPPacket(p.Src, &MRPPayload{
-			McstID: pay.McstID, Seq: pay.Seq, Total: pay.Total,
+			McstID: pay.McstID, Seq: pay.Seq, Total: pay.Total, Epoch: pay.Epoch,
 			CtrlIP: pay.CtrlIP, Nodes: nodes,
 		})
 		a.sw.Output(np, port, in)
@@ -236,7 +288,39 @@ func (a *Accel) reject(pay *MRPPayload, reason string) {
 	rp := &simnet.Packet{
 		Type: simnet.MRPReject, Src: pay.McstID, Dst: pay.CtrlIP,
 		Payload: 64,
-		Meta:    &confirmPayload{McstID: pay.McstID, Reason: reason},
+		Meta:    &confirmPayload{McstID: pay.McstID, Epoch: pay.Epoch, Reason: reason},
+	}
+	a.sw.Forward(rp, nil)
+}
+
+// staleEpoch reports whether a is an older registration generation than b,
+// under 16-bit serial-number arithmetic (RFC 1982 style) so long-lived
+// groups survive epoch wraparound.
+func staleEpoch(a, b uint16) bool {
+	return int16(a-b) < 0
+}
+
+// nackUnknownGroup tells the data source's controller that this switch has
+// no forwarding state for the group. The rejection is rate-limited per group
+// and carries no epoch (the switch does not know one) — the controller
+// treats it as an invalidation of a registered group.
+func (a *Accel) nackUnknownGroup(p *simnet.Packet) {
+	now := a.sw.Engine().Now()
+	if a.lastUnknownNack == nil {
+		a.lastUnknownNack = make(map[simnet.Addr]sim.Time)
+	}
+	if last, ok := a.lastUnknownNack[p.Dst]; ok && now-last < a.Cfg.UnknownGroupNackHoldoff {
+		return
+	}
+	a.lastUnknownNack[p.Dst] = now
+	a.Stats.UnknownGroupNacks++
+	rp := &simnet.Packet{
+		Type: simnet.MRPReject, Src: p.Dst, Dst: p.Src,
+		Payload: 64,
+		Meta: &confirmPayload{
+			McstID: p.Dst, Epoch: epochUnknown,
+			Reason: "switch " + a.sw.Name + ": no MFT for group (crashed or never registered)",
+		},
 	}
 	a.sw.Forward(rp, nil)
 }

@@ -53,25 +53,27 @@ func (a *Agent) handle(p *simnet.Packet) {
 	case simnet.MRP:
 		pay := p.Meta.(*MRPPayload)
 		// Affirm membership: answer the controller with a confirmation for
-		// every record naming this host.
+		// every record naming this host. Replayed registrations are
+		// re-confirmed unconditionally — the retransmit may mean the first
+		// confirmation was lost, and duplicates are idempotent upstream.
 		for _, n := range pay.Nodes {
 			if n.IP == a.rnic.Host.IP {
 				a.rnic.Host.Send(&simnet.Packet{
 					Type: simnet.MRPConfirm, Src: a.rnic.Host.IP, Dst: pay.CtrlIP,
 					Payload: 64,
-					Meta:    &confirmPayload{McstID: pay.McstID, Member: n.IP},
+					Meta:    &confirmPayload{McstID: pay.McstID, Member: n.IP, Epoch: pay.Epoch},
 				})
 			}
 		}
 	case simnet.MRPConfirm:
 		pay := p.Meta.(*confirmPayload)
 		if g := a.groups[pay.McstID]; g != nil {
-			g.onConfirm(pay.Member)
+			g.onConfirm(pay.Member, pay.Epoch)
 		}
 	case simnet.MRPReject:
 		pay := p.Meta.(*confirmPayload)
 		if g := a.groups[pay.McstID]; g != nil {
-			g.onReject(pay.Reason)
+			g.onReject(pay.Reason, pay.Epoch)
 		}
 	}
 }
@@ -86,12 +88,45 @@ type Group struct {
 	// the multicast source; the leader is only a control-plane role.
 	Leader int
 
+	// OnInvalidate fires when the fabric reports the group's forwarding
+	// state gone while the group believed itself registered — e.g. a
+	// restarted switch NACKing data for a group its wiped MFT no longer
+	// holds. The group transitions back to unregistered; the hook is where
+	// a recovery layer trips its safeguard and schedules re-registration.
+	OnInvalidate func(reason string)
+
+	// Retries counts MRP retransmission rounds across all registrations.
+	Retries uint64
+
+	// Registrations counts completed (re-)registrations.
+	Registrations uint64
+
 	eng        *sim.Engine
+	epoch      uint16
 	confirmed  map[simnet.Addr]bool
 	registered bool
 	failure    string
 	onDone     func(err error)
 	regTimer   *sim.Timer
+	attempt    int
+	policy     RegisterPolicy
+	curTimeout sim.Time
+}
+
+// RegisterPolicy bounds MRP registration retransmission: each attempt waits
+// AttemptTimeout for the remaining confirmations, then resends every chunk
+// (replay is idempotent at switches and agents) with the timeout doubling up
+// to MaxTimeout, failing after MaxAttempts total attempts.
+type RegisterPolicy struct {
+	AttemptTimeout sim.Time
+	MaxTimeout     sim.Time
+	MaxAttempts    int
+}
+
+// DefaultRegisterPolicy survives double-digit control-plane loss on the
+// topologies modeled: 8 attempts starting at 2ms, capped at 16ms.
+func DefaultRegisterPolicy() RegisterPolicy {
+	return RegisterPolicy{AttemptTimeout: 2 * sim.Millisecond, MaxTimeout: 16 * sim.Millisecond, MaxAttempts: 8}
 }
 
 // NewGroup creates a group over the given members. Each member's QP is
@@ -113,45 +148,88 @@ type RegistrationError struct{ Reason string }
 
 func (e *RegistrationError) Error() string { return "cepheus: registration failed: " + e.Reason }
 
-// Register runs the MRP registration: the controller encapsulates every
-// member's connection state into MRP packets (chunked at MRPMaxNodes) and
-// launches them toward the leader's leaf switch; done fires when every
-// member confirmed, or with an error on rejection or timeout.
+// Register runs the MRP registration as a single attempt with one overall
+// timeout — the original one-shot behaviour. done fires when every member
+// confirmed, or with an error on rejection or timeout.
 func (g *Group) Register(timeout sim.Time, done func(err error)) {
+	g.RegisterWithPolicy(RegisterPolicy{AttemptTimeout: timeout, MaxAttempts: 1}, done)
+}
+
+// RegisterWithPolicy runs the MRP registration with per-attempt timeout and
+// bounded exponential-backoff retransmission. Calling it on an already
+// registered (or failed) group starts a fresh registration under the next
+// epoch — re-probe after a fault, or first-time registration; switches
+// replace older-epoch MFT state wholesale when the new epoch reaches them.
+func (g *Group) RegisterWithPolicy(policy RegisterPolicy, done func(err error)) {
+	if g.regTimer != nil {
+		g.regTimer.Stop()
+	}
 	g.onDone = done
+	g.policy = policy
+	g.epoch++
+	g.attempt = 0
+	g.curTimeout = policy.AttemptTimeout
+	g.registered = false
+	g.failure = ""
+	g.confirmed = make(map[simnet.Addr]bool)
+	// The controller's own host is a participant by construction; the paper
+	// collects confirmations only from the other hosts.
+	g.confirmed[g.Members[g.Leader].Host.IP] = true
+	g.sendAttempt()
+}
+
+// sendAttempt launches (or relaunches) every MRP chunk and arms the
+// per-attempt timer. Resending all chunks rather than only unconfirmed ones
+// keeps the controller stateless about which switch dropped what; replay is
+// idempotent end to end.
+func (g *Group) sendAttempt() {
 	leader := g.Members[g.Leader]
 	nodes := make([]NodeInfo, len(g.Members))
 	for i, m := range g.Members {
 		nodes[i] = NodeInfo{IP: m.Host.IP, QPN: m.QP.QPN, WVA: m.WVA, WRKey: m.WRKey}
 	}
-	// The controller's own host is a participant by construction; the paper
-	// collects confirmations only from the other hosts.
-	g.confirmed[leader.Host.IP] = true
 	chunks := chunkNodes(nodes)
 	for i, ch := range chunks {
 		pay := &MRPPayload{
-			McstID: g.ID, Seq: i, Total: len(chunks),
+			McstID: g.ID, Seq: i, Total: len(chunks), Epoch: g.epoch,
 			CtrlIP: leader.Host.IP, Nodes: ch,
 		}
 		leader.Host.Send(newMRPPacket(leader.Host.IP, pay))
 	}
-	if timeout > 0 {
-		g.regTimer = g.eng.AfterTimer(timeout, func() {
-			if !g.registered && g.failure == "" {
-				g.fail(fmt.Sprintf("timeout after %v with %d/%d confirmations",
-					timeout, len(g.confirmed), len(g.Members)))
-			}
-		})
+	if g.curTimeout <= 0 {
+		return // no timeout: wait forever (legacy Register(0, ...) semantics)
 	}
+	timeout := g.curTimeout
+	g.regTimer = g.eng.AfterTimer(timeout, func() {
+		if g.registered || g.failure != "" {
+			return
+		}
+		g.attempt++
+		if g.attempt >= g.policy.MaxAttempts {
+			g.fail(fmt.Sprintf("timeout after %d attempts with %d/%d confirmations",
+				g.attempt, len(g.confirmed), len(g.Members)))
+			return
+		}
+		g.Retries++
+		g.curTimeout *= 2
+		if g.policy.MaxTimeout > 0 && g.curTimeout > g.policy.MaxTimeout {
+			g.curTimeout = g.policy.MaxTimeout
+		}
+		g.sendAttempt()
+	})
 }
 
-func (g *Group) onConfirm(member simnet.Addr) {
-	if g.registered || g.failure != "" {
-		return
+// Epoch returns the group's current registration generation.
+func (g *Group) Epoch() uint16 { return g.epoch }
+
+func (g *Group) onConfirm(member simnet.Addr, epoch uint16) {
+	if g.registered || g.failure != "" || epoch != g.epoch {
+		return // duplicate, late, or stale-epoch confirmation: idempotent
 	}
 	g.confirmed[member] = true
 	if len(g.confirmed) == len(g.Members) {
 		g.registered = true
+		g.Registrations++
 		if g.regTimer != nil {
 			g.regTimer.Stop()
 		}
@@ -161,11 +239,27 @@ func (g *Group) onConfirm(member simnet.Addr) {
 	}
 }
 
-func (g *Group) onReject(reason string) {
-	if g.registered || g.failure != "" {
+func (g *Group) onReject(reason string, epoch uint16) {
+	if g.registered {
+		// The fabric disowned a group we believed registered — a restarted
+		// switch with a wiped MFT, or stale forwarding state NACKed. Fall to
+		// unregistered and let the recovery layer re-probe.
+		if epoch == epochUnknown || epoch == g.epoch {
+			g.invalidate(reason)
+		}
 		return
 	}
+	if g.failure != "" || (epoch != g.epoch && epoch != epochUnknown) {
+		return // stale rejection from a superseded registration attempt
+	}
 	g.fail(reason)
+}
+
+func (g *Group) invalidate(reason string) {
+	g.registered = false
+	if g.OnInvalidate != nil {
+		g.OnInvalidate(reason)
+	}
 }
 
 func (g *Group) fail(reason string) {

@@ -47,6 +47,12 @@ type PathEntry struct {
 type MFT struct {
 	McstID simnet.Addr
 
+	// Epoch is the registration generation this table was built under
+	// (stamped from the MRP payload). A registration with a newer epoch
+	// replaces the table wholesale; older-epoch MRP replays are discarded,
+	// so stale control traffic can never resurrect dead forwarding state.
+	Epoch uint16
+
 	// PathIndex[i] is 0 if port i is not in the MDT, otherwise 1 + the
 	// port's entry index in Paths.
 	PathIndex []int
@@ -154,12 +160,13 @@ func (m *MFT) MinAck() (min int64, argmin int, ok bool) {
 // Memory accounting constants, matching the paper's Fig 3 layout on the
 // FPGA: the Path Index is one byte per port, each Path Table entry packs
 // dstIP (4B) + dstQP (3B) + a 24-bit AckPSN (3B) = 10B, and the group-level
-// state (AggAckPSN, triPort, MePSN, AckOutPort, source identity) is 16B.
-// A fully populated 64-port MFT is then 720B, so 1K groups cost ~0.7MB —
-// the paper's "0.69MB per switch" bound.
+// state (AggAckPSN, triPort, MePSN, AckOutPort, source identity) is 16B
+// plus a 16-bit registration epoch. A fully populated 64-port MFT is then
+// 722B, so 1K groups cost ~0.72MB — still the order of the paper's "0.69MB
+// per switch" bound.
 const (
 	entryBytes      = 10
-	groupStateBytes = 16
+	groupStateBytes = 16 + 2 // +2: registration epoch
 )
 
 // MemoryBytes models the switch memory footprint of this MFT.

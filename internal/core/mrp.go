@@ -17,13 +17,20 @@ type NodeInfo struct {
 }
 
 // MRPPayload is the MRP packet body (Fig 5): metadata (seq/total for
-// chunking past the MTU limit) plus the node records routed through the
-// receiving switch. CtrlIP addresses confirmations and rejections back to
-// the controller on the leader host.
+// chunking past the MTU limit, the registration epoch) plus the node records
+// routed through the receiving switch. CtrlIP addresses confirmations and
+// rejections back to the controller on the leader host.
+//
+// Epoch is the group's registration generation. Every (re-)registration
+// increments it; switches stamp their MFT with it, replace the MFT wholesale
+// when a newer epoch registers, and discard stale-epoch MRP replays — so a
+// retransmitted or reordered registration from a previous generation can
+// never resurrect a dead distribution tree.
 type MRPPayload struct {
 	McstID simnet.Addr
 	Seq    int
 	Total  int
+	Epoch  uint16
 	CtrlIP simnet.Addr
 	Nodes  []NodeInfo
 }
@@ -56,9 +63,19 @@ func chunkNodes(nodes []NodeInfo) [][]NodeInfo {
 	return append(out, nodes)
 }
 
-// confirmPayload is the body of an MRPConfirm/MRPReject packet.
+// confirmPayload is the body of an MRPConfirm/MRPReject packet. Epoch echoes
+// the registration generation being answered, so the controller can discard
+// confirmations and rejections that belong to a superseded attempt.
 type confirmPayload struct {
 	McstID simnet.Addr
 	Member simnet.Addr
+	Epoch  uint16
 	Reason string // set on rejection
 }
+
+// epochUnknown marks switch-originated rejections that carry no registration
+// epoch — notably the NACK a restarted switch sends when multicast data
+// arrives for a group its wiped MFT no longer knows. The controller treats
+// such a rejection on a registered group as an invalidation rather than a
+// registration failure.
+const epochUnknown uint16 = 0xFFFF

@@ -9,7 +9,7 @@ import (
 
 // Wire codec for the MRP packet body (Fig 5). The layout is:
 //
-//	metadata: McstID(4) seq(2) total(2)          = 8 bytes
+//	metadata: McstID(4) seq(1) total(1) epoch(2) = 8 bytes
 //	node record: IP(4) QPN(3) flags(1)           = 8 bytes
 //	  flags bit0 set: record is followed by MR info VA(8) RKey(4)
 //
@@ -17,6 +17,9 @@ import (
 // it costs nothing on the wire; the record count is implied by the body
 // length. A 1500B IP MTU leaves 1500-20-8 = 1472 bytes of UDP payload:
 // 8 + 183*8 = 1472 — exactly the paper's 183-node chunking constant.
+// seq/total are single bytes (255 chunks × 183 records covers ~46K members,
+// far beyond the fabric sizes modeled), which frees two metadata bytes for
+// the registration epoch without giving up a node record per packet.
 // The simulator moves the decoded struct for speed but sizes every MRP
 // packet from this encoding, and the codec is what a hardware MRP parser
 // would implement.
@@ -33,8 +36,9 @@ func EncodeMRP(p *MRPPayload) []byte {
 	buf := make([]byte, 0, mrpMetaBytes+len(p.Nodes)*(mrpNodeBytes+mrpMRBytes))
 	var meta [mrpMetaBytes]byte
 	binary.BigEndian.PutUint32(meta[0:4], uint32(p.McstID))
-	binary.BigEndian.PutUint16(meta[4:6], uint16(p.Seq))
-	binary.BigEndian.PutUint16(meta[6:8], uint16(p.Total))
+	meta[4] = byte(p.Seq)
+	meta[5] = byte(p.Total)
+	binary.BigEndian.PutUint16(meta[6:8], p.Epoch)
 	buf = append(buf, meta[:]...)
 	for _, n := range p.Nodes {
 		var rec [mrpNodeBytes]byte
@@ -65,8 +69,9 @@ func DecodeMRP(buf []byte, ctrlIP simnet.Addr) (*MRPPayload, error) {
 	}
 	p := &MRPPayload{
 		McstID: simnet.Addr(binary.BigEndian.Uint32(buf[0:4])),
-		Seq:    int(binary.BigEndian.Uint16(buf[4:6])),
-		Total:  int(binary.BigEndian.Uint16(buf[6:8])),
+		Seq:    int(buf[4]),
+		Total:  int(buf[5]),
+		Epoch:  binary.BigEndian.Uint16(buf[6:8]),
 		CtrlIP: ctrlIP,
 	}
 	off := mrpMetaBytes

@@ -10,6 +10,12 @@ import (
 // fraction of the recent norm (e.g. pathological loss), or immediately on a
 // registration failure. The policy of *what* to fall back to (the default
 // AMcast algorithm) belongs to the caller; OnTrip is the hook.
+//
+// After tripping, the safeguard keeps sampling (unless OnRecover is nil):
+// when the QP's throughput returns above the threshold for RecoverWindows
+// consecutive busy windows, it re-arms and fires OnRecover — the signal the
+// recovery pipeline uses to restore native multicast without hand-rolled
+// re-probe timers.
 type Safeguard struct {
 	// Threshold is the fraction of the recent best throughput below which
 	// the safeguard trips (the paper suggests 50%).
@@ -18,8 +24,25 @@ type Safeguard struct {
 	// Window is the sampling period.
 	Window sim.Time
 
-	// OnTrip fires once, with a reason.
+	// TripWindows is how many *consecutive* judged-bad windows are required
+	// to trip (default 2). A single bad window — e.g. a burst that started
+	// just before a sampling edge — is a measurement artifact, not a
+	// collapse; an idle window resets the count, since a QP with nothing
+	// posted cannot be collapsing.
+	TripWindows int
+
+	// RecoverWindows is how many consecutive healthy busy windows are
+	// required after a trip before OnRecover fires (default 3). Ignored
+	// when OnRecover is nil, in which case a trip stops the timer
+	// permanently (the original one-shot behaviour).
+	RecoverWindows int
+
+	// OnTrip fires on each transition into the tripped state, with a reason.
 	OnTrip func(reason string)
+
+	// OnRecover fires when a tripped safeguard observes sustained healthy
+	// throughput again.
+	OnRecover func()
 
 	qp       *roce.QP
 	eng      *sim.Engine
@@ -27,12 +50,19 @@ type Safeguard struct {
 	bestRate float64
 	tripped  bool
 	warmup   int
+	bad      int // consecutive judged-bad windows
+	good     int // consecutive healthy windows while tripped
+	prevBusy bool
 	timer    *sim.Timer
 }
 
 // NewSafeguard starts monitoring a sender QP.
 func NewSafeguard(eng *sim.Engine, qp *roce.QP, threshold float64, window sim.Time, onTrip func(reason string)) *Safeguard {
-	s := &Safeguard{Threshold: threshold, Window: window, OnTrip: onTrip, qp: qp, eng: eng, lastPSN: qp.AckedPSN()}
+	s := &Safeguard{
+		Threshold: threshold, Window: window, OnTrip: onTrip,
+		TripWindows: 2, RecoverWindows: 3,
+		qp: qp, eng: eng, lastPSN: qp.AckedPSN(),
+	}
 	s.arm()
 	return s
 }
@@ -43,7 +73,7 @@ func (s *Safeguard) TripRegistration(err error) {
 	s.trip("registration failed: " + err.Error())
 }
 
-// Tripped reports whether the safeguard has fired.
+// Tripped reports whether the safeguard is currently in the tripped state.
 func (s *Safeguard) Tripped() bool { return s.tripped }
 
 // Stop halts monitoring.
@@ -58,27 +88,74 @@ func (s *Safeguard) arm() {
 }
 
 func (s *Safeguard) sample() {
-	if s.tripped {
-		return
-	}
 	cur := s.qp.AckedPSN()
 	progress := float64(cur - s.lastPSN)
 	s.lastPSN = cur
 	busy := s.qp.Outstanding() > 0
+	judged := busy && s.prevBusy // the QP was loaded across the whole window
+	s.prevBusy = busy
 	if progress > s.bestRate {
 		s.bestRate = progress
 	}
+	if s.tripped {
+		s.sampleTripped(progress, busy)
+		return
+	}
 	// Only judge windows where the QP was actually trying to make progress
-	// and we have a baseline; the first busy windows establish the norm.
-	if busy && s.bestRate > 0 {
+	// for the full window and we have a baseline; the first busy windows
+	// establish the norm. Windows that began idle fold post latency into
+	// the measurement (bursty-but-healthy traffic) and are not judged.
+	if judged && s.bestRate > 0 {
 		if s.warmup < 2 {
 			s.warmup++
 		} else if progress < s.Threshold*s.bestRate {
-			s.trip("throughput collapsed below threshold")
-			return
+			s.bad++
+			if s.bad >= s.tripWindows() {
+				s.trip("throughput collapsed below threshold")
+				return
+			}
+		} else {
+			s.bad = 0
 		}
+	} else {
+		s.bad = 0 // idle (or partially idle) window: no evidence of collapse
 	}
 	s.arm()
+}
+
+// sampleTripped is the post-trip sampling loop: it watches for sustained
+// recovery. The pre-collapse bestRate stays the baseline, so "recovered"
+// means the QP is again moving at a healthy fraction of its former rate.
+func (s *Safeguard) sampleTripped(progress float64, busy bool) {
+	if busy && s.bestRate > 0 && progress >= s.Threshold*s.bestRate {
+		s.good++
+		if s.good >= s.recoverWindows() {
+			s.tripped = false
+			s.bad, s.good, s.warmup = 0, 0, 0
+			if s.OnRecover != nil {
+				s.OnRecover()
+			}
+			s.arm()
+			return
+		}
+	} else if busy {
+		s.good = 0 // still collapsed; idle windows neither help nor hurt
+	}
+	s.arm()
+}
+
+func (s *Safeguard) tripWindows() int {
+	if s.TripWindows < 1 {
+		return 1
+	}
+	return s.TripWindows
+}
+
+func (s *Safeguard) recoverWindows() int {
+	if s.RecoverWindows < 1 {
+		return 1
+	}
+	return s.RecoverWindows
 }
 
 func (s *Safeguard) trip(reason string) {
@@ -86,8 +163,14 @@ func (s *Safeguard) trip(reason string) {
 		return
 	}
 	s.tripped = true
+	s.bad, s.good = 0, 0
 	s.Stop()
 	if s.OnTrip != nil {
 		s.OnTrip(reason)
+	}
+	// Keep sampling for recovery detection only if someone is listening;
+	// otherwise preserve the original fire-once contract.
+	if s.OnRecover != nil {
+		s.arm()
 	}
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/roce"
+	"repro/internal/sim"
+)
+
+// TestSafeguardNoFalseTripOnBurstyTraffic: healthy-but-bursty senders (idle
+// gaps between posts) must not trip the safeguard. A burst that begins just
+// before a sampling edge yields a busy-but-low-progress window — a
+// measurement artifact the judged-window rule (busy across the *whole*
+// window) and the consecutive-bad-window requirement both absorb.
+func TestSafeguardNoFalseTripOnBurstyTraffic(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	src := e.group.Members[0].QP
+	reason := ""
+	NewSafeguard(e.eng, src, 0.5, sim.Millisecond, func(r string) { reason = r })
+	// Bursty app: 4MB burst, then an idle gap, repeated. The burst length
+	// (~350us at 100Gbps) never spans a full sampling window, and the gap
+	// varies so bursts drift across sampling edges.
+	gap := sim.Time(700 * sim.Microsecond)
+	stop := false
+	var post func()
+	post = func() {
+		if stop {
+			return
+		}
+		src.PostSend(4<<20, func() {
+			gap += 130 * sim.Microsecond
+			if gap > 2*sim.Millisecond {
+				gap = 700 * sim.Microsecond
+			}
+			e.eng.After(gap, post)
+		})
+	}
+	post()
+	e.eng.RunFor(200 * sim.Millisecond)
+	stop = true
+	if reason != "" {
+		t.Fatalf("safeguard false-tripped on healthy bursty traffic: %s", reason)
+	}
+}
+
+// TestSafeguardRecoverHook: after tripping, the safeguard keeps sampling
+// and fires OnRecover once throughput holds above threshold for
+// RecoverWindows consecutive windows — the re-probe signal the recovery
+// pipeline builds on.
+func TestSafeguardRecoverHook(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	src := e.group.Members[0].QP
+	tripped, recovered := false, false
+	s := NewSafeguard(e.eng, src, 0.5, sim.Millisecond, func(string) { tripped = true })
+	s.OnRecover = func() { recovered = true }
+	stop := false
+	var repost func()
+	repost = func() {
+		if !stop {
+			src.PostSend(1<<20, repost)
+		}
+	}
+	repost()
+	e.eng.RunFor(10 * sim.Millisecond)
+	if tripped {
+		t.Fatal("tripped on healthy traffic")
+	}
+	e.net.Switches[0].LossRate = 0.9
+	e.eng.RunFor(90 * sim.Millisecond)
+	if !tripped {
+		t.Fatal("never tripped under 90% loss")
+	}
+	if recovered {
+		t.Fatal("recovered while loss still pathological")
+	}
+	// The pathology clears; throughput returns, and the safeguard must
+	// notice without being re-created.
+	e.net.Switches[0].LossRate = 0
+	e.eng.RunFor(100 * sim.Millisecond)
+	stop = true
+	if !recovered {
+		t.Fatal("OnRecover never fired after throughput returned")
+	}
+	if s.Tripped() {
+		t.Fatal("safeguard still reports tripped after recovery")
+	}
+}

@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// ChaosConfig parameterizes a seeded schedule of composed faults. The
+// schedule is generated up front from its own RNG (not the engine's), so
+// two runs with the same seed and candidate sets inject the identical
+// fault sequence regardless of what the workload does in between.
+type ChaosConfig struct {
+	// Seed drives schedule generation.
+	Seed int64
+
+	// Horizon is the window faults are injected into, from the current
+	// simulation time.
+	Horizon sim.Time
+
+	// Events is how many fault episodes to schedule (each episode is a
+	// down transition plus its paired repair).
+	Events int
+
+	// MinDowntime/MaxDowntime bound how long each episode keeps its target
+	// dead. MaxDowntime <= MinDowntime pins the downtime at MinDowntime.
+	MinDowntime sim.Time
+	MaxDowntime sim.Time
+
+	// Links are candidate links (either end's port). Nil disables link
+	// episodes.
+	Links []*simnet.Port
+
+	// Switches are candidate crash targets. Nil disables switch episodes.
+	Switches []*simnet.Switch
+
+	// FlapFraction is the fraction of link episodes injected as rapid
+	// flaps (down and back up after MinDowntime) rather than a full
+	// down/up episode.
+	FlapFraction float64
+}
+
+// Chaos generates and schedules a deterministic fault storm, returning the
+// planned episodes (down-transition times) for logging. Overlapping
+// episodes on the same element are harmless: transitions are idempotent
+// and each repair only revives what is still down.
+func (in *Injector) Chaos(cfg ChaosConfig) []Event {
+	if cfg.Events <= 0 || cfg.Horizon <= 0 || (len(cfg.Links) == 0 && len(cfg.Switches) == 0) {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := in.eng.Now()
+	downFor := func() sim.Time {
+		if cfg.MaxDowntime <= cfg.MinDowntime {
+			return cfg.MinDowntime
+		}
+		return cfg.MinDowntime + sim.Time(rng.Int63n(int64(cfg.MaxDowntime-cfg.MinDowntime)))
+	}
+	var plan []Event
+	for i := 0; i < cfg.Events; i++ {
+		at := base + sim.Time(rng.Int63n(int64(cfg.Horizon)))
+		// Pick a target class, weighted by candidate counts.
+		k := rng.Intn(len(cfg.Links) + len(cfg.Switches))
+		if k < len(cfg.Links) {
+			pt := cfg.Links[k]
+			d := downFor()
+			if cfg.FlapFraction > 0 && rng.Float64() < cfg.FlapFraction {
+				plan = append(plan, Event{At: at, Kind: PortFlap, Target: linkName(pt)})
+				in.At(at, func() { in.Stats.ChaosEvents++; in.Flap(pt, cfg.MinDowntime) })
+				continue
+			}
+			plan = append(plan, Event{At: at, Kind: LinkDown, Target: linkName(pt)})
+			in.LinkDownAt(at, pt)
+			in.LinkUpAt(at+d, pt)
+			in.At(at, func() { in.Stats.ChaosEvents++ })
+		} else {
+			sw := cfg.Switches[k-len(cfg.Links)]
+			d := downFor()
+			plan = append(plan, Event{At: at, Kind: SwitchCrash, Target: sw.Name})
+			in.CrashAt(at, sw)
+			in.RestartAt(at+d, sw)
+			in.At(at, func() { in.Stats.ChaosEvents++ })
+		}
+	}
+	return plan
+}

@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// raw sends a Raw packet from host a to host b and reports whether it
+// arrived within window.
+func rawDelivered(eng *sim.Engine, net *topo.Network, a, b int, window sim.Time) bool {
+	got := false
+	net.Hosts[b].Handler = func(p *simnet.Packet) { got = true }
+	net.Hosts[a].Send(&simnet.Packet{Type: simnet.Raw, Src: net.Hosts[a].IP, Dst: net.Hosts[b].IP, Payload: 1000})
+	eng.RunFor(window)
+	return got
+}
+
+func TestLinkDownDropsTraffic(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.Testbed(eng, 3)
+	in := NewInjector(net)
+
+	if !rawDelivered(eng, net, 0, 1, sim.Millisecond) {
+		t.Fatal("healthy link did not deliver")
+	}
+	in.LinkDown(in.HostLink(1))
+	if rawDelivered(eng, net, 0, 1, sim.Millisecond) {
+		t.Fatal("down link delivered a packet")
+	}
+	if net.Hosts[1].NIC.Peer.Stats.FaultDrops == 0 {
+		t.Fatal("no fault drops recorded at the dead link")
+	}
+	in.LinkUp(in.HostLink(1))
+	if !rawDelivered(eng, net, 0, 1, sim.Millisecond) {
+		t.Fatal("revived link did not deliver")
+	}
+	if in.Stats.LinkDowns != 1 || in.Stats.LinkUps != 1 {
+		t.Fatalf("stats = %+v", in.Stats)
+	}
+}
+
+func TestLinkDownLosesInFlightFrames(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.Testbed(eng, 2)
+	in := NewInjector(net)
+
+	got := false
+	net.Hosts[1].Handler = func(p *simnet.Packet) { got = true }
+	net.Hosts[0].Send(&simnet.Packet{Type: simnet.Raw, Src: net.Hosts[0].IP, Dst: net.Hosts[1].IP, Payload: 1500})
+	// Kill the destination access link while the frame is mid-flight
+	// (serialization at 100Gbps is ~126ns; propagation 600ns).
+	eng.RunFor(200 * sim.Nanosecond)
+	in.LinkDown(in.HostLink(1))
+	eng.RunFor(sim.Millisecond)
+	if got {
+		t.Fatal("frame in flight on a failed link was delivered")
+	}
+}
+
+func TestSwitchCrashAndRestart(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.Testbed(eng, 3)
+	in := NewInjector(net)
+	sw := net.Switches[0]
+
+	restarted := false
+	sw.OnRestart = func() { restarted = true }
+
+	in.CrashSwitch(sw)
+	if !sw.Crashed() {
+		t.Fatal("switch not crashed")
+	}
+	if rawDelivered(eng, net, 0, 1, sim.Millisecond) {
+		t.Fatal("crashed switch forwarded a packet")
+	}
+	if sw.CrashDrops == 0 {
+		t.Fatal("crashed switch recorded no crash drops")
+	}
+	in.RestartSwitch(sw)
+	if !restarted {
+		t.Fatal("restart hook did not fire")
+	}
+	if !rawDelivered(eng, net, 0, 1, sim.Millisecond) {
+		t.Fatal("restarted switch did not forward")
+	}
+	// Idempotence: double crash / double restart count once.
+	in.CrashSwitch(sw)
+	in.CrashSwitch(sw)
+	in.RestartSwitch(sw)
+	in.RestartSwitch(sw)
+	if in.Stats.SwitchCrashes != 2 || in.Stats.SwitchRestarts != 2 {
+		t.Fatalf("stats = %+v", in.Stats)
+	}
+}
+
+func TestFlapRestoresLink(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.Testbed(eng, 2)
+	in := NewInjector(net)
+
+	in.Flap(in.HostLink(1), 100*sim.Microsecond)
+	if !net.Hosts[1].NIC.Down() {
+		t.Fatal("flap did not take the link down")
+	}
+	eng.RunFor(sim.Millisecond)
+	if net.Hosts[1].NIC.Down() {
+		t.Fatal("flap did not bring the link back")
+	}
+	if in.Stats.PortFlaps != 1 {
+		t.Fatalf("stats = %+v", in.Stats)
+	}
+}
+
+func TestAutoRepairRoutesExcludesDeadSpine(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.LeafSpine(eng, 2, 2, 2)
+	in := NewInjector(net)
+	in.AutoRepairRoutes = true
+
+	spine := net.Switches[2] // leaves first, then spines
+	in.CrashSwitch(spine)
+	if in.Stats.RouteRepairs == 0 {
+		t.Fatal("auto route repair did not run")
+	}
+	// Cross-leaf traffic must still flow via the surviving spine.
+	if !rawDelivered(eng, net, 0, 2, sim.Millisecond) {
+		t.Fatal("cross-leaf traffic died with one of two spines")
+	}
+	if !net.PathExists(net.Hosts[0], net.Hosts[2]) {
+		t.Fatal("PathExists false despite surviving spine")
+	}
+	// Kill the second spine: now the leaves are partitioned.
+	in.CrashSwitch(net.Switches[3])
+	if net.PathExists(net.Hosts[0], net.Hosts[2]) {
+		t.Fatal("PathExists true with both spines dead")
+	}
+	if net.PathExists(net.Hosts[0], net.Hosts[1]) == false {
+		t.Fatal("same-leaf hosts should remain connected")
+	}
+}
+
+func TestChaosDeterministicSchedule(t *testing.T) {
+	run := func() []Event {
+		eng := sim.New(1)
+		net := topo.LeafSpine(eng, 2, 2, 2)
+		in := NewInjector(net)
+		in.AutoRepairRoutes = true
+		var links []*simnet.Port
+		for _, sw := range net.Switches[:2] {
+			for _, pt := range sw.Ports {
+				if _, ok := pt.Peer.Dev.(*simnet.Switch); ok {
+					links = append(links, pt)
+				}
+			}
+		}
+		plan := in.Chaos(ChaosConfig{
+			Seed: 7, Horizon: 50 * sim.Millisecond, Events: 6,
+			MinDowntime: sim.Millisecond, MaxDowntime: 5 * sim.Millisecond,
+			Links: links, Switches: net.Switches[2:], FlapFraction: 0.3,
+		})
+		eng.RunUntil(100 * sim.Millisecond)
+		if in.Stats.ChaosEvents != 6 {
+			t.Fatalf("chaos injected %d/6 events", in.Stats.ChaosEvents)
+		}
+		// Everything must be repaired by the end of the horizon + max downtime.
+		for _, sw := range net.Switches {
+			if sw.Crashed() {
+				t.Fatalf("switch %s still dead after chaos drained", sw.Name)
+			}
+		}
+		for _, pt := range links {
+			if pt.Down() {
+				t.Fatal("link still dead after chaos drained")
+			}
+		}
+		return plan
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("plans differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

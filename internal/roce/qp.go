@@ -145,6 +145,32 @@ func (qp *QP) SetSqPSN(psn uint64) {
 // SetRqPSN overwrites the responder's expected PSN (see SetSqPSN).
 func (qp *QP) SetRqPSN(psn uint64) { qp.rqPSN = psn }
 
+// Flush aborts everything in flight on the QP, in both roles: posted WQEs
+// are dropped without completions, pending retransmissions and the RTO are
+// cancelled, and responder-side partial message assembly and out-of-order
+// buffers are discarded. It models the error/flush transition a verbs stack
+// performs when a connection is torn down mid-transfer — the safeguard uses
+// it before falling back to AMcast so no half-delivered multicast message
+// can ever surface, and Group.SyncAllPSN can later realign the survivors.
+func (qp *QP) Flush() {
+	// Requester: forget the unacknowledged tail entirely. sndUna jumps to
+	// tail so nothing is considered outstanding; maxSent follows so future
+	// packets are not misclassified as retransmissions.
+	qp.wqes = nil
+	qp.sndUna, qp.sndNxt, qp.maxSent = qp.tail, qp.tail, qp.tail
+	qp.rtq = nil
+	if qp.rto != nil {
+		qp.rto.Stop()
+	}
+	// Responder: discard partial assembly and buffered out-of-order data so
+	// a pre-fault message prefix can never merge with post-recovery bytes.
+	qp.curBytes, qp.curVA, qp.curRKey, qp.curValue = 0, 0, 0, 0
+	qp.sinceAck, qp.ackDue, qp.nackPending = 0, false, false
+	if qp.ooo != nil {
+		qp.ooo = make(map[uint64]oooPkt)
+	}
+}
+
 // AckedPSN returns the first unacknowledged PSN; everything below it has
 // been acknowledged by the remote (or, for Cepheus, by every receiver).
 func (qp *QP) AckedPSN() uint64 { return qp.sndUna }
@@ -416,6 +442,11 @@ func (qp *QP) handleNack(p *simnet.Packet) {
 	qp.advanceCum(e)
 	if e >= qp.maxSent {
 		return // nothing sent at or beyond e; nothing to retransmit
+	}
+	if e < qp.sndUna {
+		// Stale feedback for a range already acknowledged — or flushed by a
+		// fault-recovery abort; there is no WQE left to retransmit from.
+		return
 	}
 	// Suppress duplicate repairs of the same point within the holdoff (the
 	// retransmission is already in flight).

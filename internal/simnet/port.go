@@ -38,6 +38,12 @@ type PortStats struct {
 	MaxQueued  int
 	PauseSent  uint64
 	ResumeSent uint64
+
+	// FaultDrops counts frames lost to a dead link: queued frames purged
+	// when the port went down, frames enqueued while down, and in-flight
+	// frames whose link failed before delivery. It is a subset of nothing —
+	// a separate category from congestion Drops.
+	FaultDrops uint64
 }
 
 // Port is one end of a full-duplex link. The port owns its egress queue and
@@ -68,6 +74,12 @@ type Port struct {
 	qBytes int
 	busy   bool
 	paused bool
+
+	// Fail-stop state: a down port neither transmits nor accepts frames.
+	// epoch increments on every transition so frames already in flight when
+	// the link died are discarded at delivery time.
+	down  bool
+	epoch uint64
 }
 
 // queue classes (Fig 7a's queue system: physical-queue-level isolation,
@@ -104,6 +116,45 @@ func Connect(a, b *Port) {
 // QueuedBytes reports the egress queue depth.
 func (pt *Port) QueuedBytes() int { return pt.qBytes }
 
+// Down reports whether the port is failed (fail-stop).
+func (pt *Port) Down() bool { return pt.down }
+
+// SetDown transitions the port's fail-stop state. Going down purges the
+// egress queue (releasing any PFC accounting) and invalidates frames
+// already serialized onto the wire; coming up clears a stale PFC pause so
+// the link restarts from a clean slate. Both directions of a link fail
+// independently — fault injectors typically flip both ends.
+func (pt *Port) SetDown(down bool) {
+	if pt.down == down {
+		return
+	}
+	pt.down = down
+	pt.epoch++
+	if down {
+		pt.purge()
+		return
+	}
+	pt.paused = false
+	pt.trySend()
+}
+
+// purge discards every queued frame, counting them as fault drops and
+// releasing ingress-buffer accounting so PFC cannot deadlock on a dead link.
+func (pt *Port) purge() {
+	for cls := range pt.queues {
+		for _, p := range pt.queues[cls] {
+			pt.Stats.Drops++
+			pt.Stats.FaultDrops++
+			if p.acct != nil {
+				p.acct.release(p.Size())
+				p.acct = nil
+			}
+		}
+		pt.queues[cls] = nil
+	}
+	pt.qBytes = 0
+}
+
 // Paused reports whether PFC has paused this egress.
 func (pt *Port) Paused() bool { return pt.paused }
 
@@ -132,6 +183,11 @@ func (pt *Port) Send(p *Packet) {
 // and the queue limit. It is used for PFC PAUSE/RESUME frames, which a
 // real switch emits from a dedicated high-priority path.
 func (pt *Port) SendUrgent(p *Packet) {
+	if pt.down {
+		pt.Stats.Drops++
+		pt.Stats.FaultDrops++
+		return
+	}
 	pt.queues[qCtrl] = append([]*Packet{p}, pt.queues[qCtrl]...)
 	pt.qBytes += p.Size()
 	pt.trySend()
@@ -139,6 +195,14 @@ func (pt *Port) SendUrgent(p *Packet) {
 
 func (pt *Port) enqueue(p *Packet, urgent bool) {
 	size := p.Size()
+	if pt.down {
+		pt.Stats.Drops++
+		pt.Stats.FaultDrops++
+		if p.acct != nil {
+			p.acct = nil
+		}
+		return
+	}
 	if pt.QueueLimit > 0 && pt.qBytes+size > pt.QueueLimit {
 		pt.Stats.Drops++
 		if p.acct != nil {
@@ -178,7 +242,7 @@ func (pt *Port) markProbability() float64 {
 }
 
 func (pt *Port) trySend() {
-	if pt.busy || pt.paused || pt.qBytes == 0 {
+	if pt.busy || pt.paused || pt.down || pt.qBytes == 0 {
 		return
 	}
 	if pt.Peer == nil {
@@ -212,7 +276,14 @@ func (pt *Port) trySend() {
 		}
 		pt.trySend()
 	})
+	txEpoch, peerEpoch := pt.epoch, peer.epoch
 	pt.eng.After(tx+pt.PropDelay, func() {
+		// A frame on the wire is lost if either end of the link failed (or
+		// flapped) while it was in flight.
+		if pt.epoch != txEpoch || peer.epoch != peerEpoch {
+			pt.Stats.FaultDrops++
+			return
+		}
 		peer.Dev.Receive(p, peer)
 	})
 }

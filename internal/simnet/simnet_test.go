@@ -106,18 +106,16 @@ func TestSwitchForwarding(t *testing.T) {
 	}
 }
 
-func TestSwitchNoRoutePanics(t *testing.T) {
+func TestSwitchNoRouteDrops(t *testing.T) {
 	eng := sim.New(1)
 	sw := NewSwitch(eng, "s0")
 	h1 := NewHost(eng, "h1", 1, gbps100, 600)
 	Connect(h1.NIC, sw.AddPort(gbps100, 600))
 	h1.Send(&Packet{Type: Data, Src: 1, Dst: 99, Payload: 64})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("missing route did not panic")
-		}
-	}()
 	eng.Run()
+	if sw.NoRouteDrops != 1 {
+		t.Fatalf("NoRouteDrops = %d, want 1 (unroutable packets must be dropped, not forwarded)", sw.NoRouteDrops)
+	}
 }
 
 func TestECMPDeterministicPerFlow(t *testing.T) {

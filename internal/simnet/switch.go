@@ -1,8 +1,6 @@
 package simnet
 
 import (
-	"fmt"
-
 	"repro/internal/sim"
 )
 
@@ -75,13 +73,39 @@ type Switch struct {
 	// switches" (Fig 13).
 	LossRate float64
 
+	// ControlLossRate drops forwarded control packets (MRP, confirmations,
+	// ACK/NACK/CNP — everything except PFC) with this probability. Data-only
+	// loss leaves the MRP retry and feedback-recovery paths untested; this
+	// closes that blind spot.
+	ControlLossRate float64
+
 	// DataDrops counts loss-injected discards.
 	DataDrops uint64
+
+	// CtrlDrops counts control packets discarded by ControlLossRate.
+	CtrlDrops uint64
+
+	// CrashDrops counts packets that arrived or were emitted while the
+	// switch was crashed.
+	CrashDrops uint64
+
+	// NoRouteDrops counts packets discarded for lack of a FIB entry. With a
+	// static fabric this stays zero; once route repair removes unreachable
+	// destinations from FIBs, in-flight packets (and go-back-N
+	// retransmissions) addressed to them are legitimately unroutable and are
+	// dropped here instead of crashing the simulation.
+	NoRouteDrops uint64
+
+	// OnRestart, when set, fires after Restart restores the ports — the
+	// accelerator hooks it to model volatile state (the MFT) being wiped by
+	// a crash.
+	OnRestart func()
 
 	Ports    []*Port
 	accounts []*ingressAccount
 
-	eng *sim.Engine
+	eng  *sim.Engine
+	down bool
 }
 
 // NewSwitch creates a switch with no ports.
@@ -112,8 +136,49 @@ func (sw *Switch) AddPort(rateBps float64, prop sim.Time) *Port {
 // NumPorts returns the port count.
 func (sw *Switch) NumPorts() int { return len(sw.Ports) }
 
+// Crashed reports whether the switch is in the failed state.
+func (sw *Switch) Crashed() bool { return sw.down }
+
+// Crash fail-stops the switch: every port goes down (halting egress and
+// dropping queued and in-flight frames) and all further arrivals are
+// discarded until Restart.
+func (sw *Switch) Crash() {
+	if sw.down {
+		return
+	}
+	sw.down = true
+	for _, pt := range sw.Ports {
+		pt.SetDown(true)
+	}
+}
+
+// Restart brings a crashed switch back: ports come up and ingress-buffer
+// accounting resets (the shared buffer is volatile), then OnRestart fires so
+// attached state — the accelerator's MFTs — can model its own volatility.
+// The FIB survives, as reloaded switch configuration would.
+func (sw *Switch) Restart() {
+	if !sw.down {
+		return
+	}
+	sw.down = false
+	for _, a := range sw.accounts {
+		a.bytes = 0
+		a.paused = false
+	}
+	for _, pt := range sw.Ports {
+		pt.SetDown(false)
+	}
+	if sw.OnRestart != nil {
+		sw.OnRestart()
+	}
+}
+
 // Receive implements Device.
 func (sw *Switch) Receive(p *Packet, in *Port) {
+	if sw.down {
+		sw.CrashDrops++
+		return
+	}
 	switch p.Type {
 	case Pause:
 		in.setPaused(true)
@@ -128,11 +193,13 @@ func (sw *Switch) Receive(p *Packet, in *Port) {
 	sw.Forward(p, in)
 }
 
-// Forward routes p by its destination address using the FIB.
+// Forward routes p by its destination address using the FIB. Packets with
+// no route are counted and dropped, as a real switch would.
 func (sw *Switch) Forward(p *Packet, in *Port) {
 	ports, ok := sw.FIB[p.Dst]
 	if !ok || len(ports) == 0 {
-		panic(fmt.Sprintf("simnet: %s has no route to %v (%v)", sw.Name, p.Dst, p))
+		sw.NoRouteDrops++
+		return
 	}
 	out := ports[0]
 	if len(ports) > 1 {
@@ -144,14 +211,34 @@ func (sw *Switch) Forward(p *Packet, in *Port) {
 // Output transmits p through egress port out, applying loss injection and
 // PFC ingress accounting. in may be nil for locally generated packets.
 func (sw *Switch) Output(p *Packet, out int, in *Port) {
+	if sw.down {
+		sw.CrashDrops++
+		return
+	}
 	if sw.LossRate > 0 && p.Type == Data && sw.eng.Rand().Float64() < sw.LossRate {
 		sw.DataDrops++
+		return
+	}
+	if sw.ControlLossRate > 0 && isLossyControl(p.Type) && sw.eng.Rand().Float64() < sw.ControlLossRate {
+		sw.CtrlDrops++
 		return
 	}
 	if sw.PFC.Enabled && in != nil && in.Dev == Device(sw) {
 		p.acct = sw.accounts[in.ID]
 	}
 	sw.Ports[out].Send(p)
+}
+
+// isLossyControl classifies the control traffic ControlLossRate applies to.
+// PFC PAUSE/RESUME stay lossless: they model MAC-level frames on a dedicated
+// path, and losing them would deadlock the flow-control model rather than
+// exercise a protocol retry.
+func isLossyControl(t PacketType) bool {
+	switch t {
+	case MRP, MRPConfirm, MRPReject, Ack, Nack, CNP:
+		return true
+	}
+	return false
 }
 
 // AddRoute appends an equal-cost egress port for dst.

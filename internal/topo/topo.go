@@ -199,6 +199,19 @@ func LeafSpineWith(eng *sim.Engine, leaves, spines, hostsPerLeaf int, rate float
 	return n
 }
 
+// linkUp reports whether pt is a usable edge: both ends of the link (and
+// the devices behind them) alive. During the initial topology build nothing
+// is down and every edge qualifies.
+func linkUp(pt *simnet.Port) bool {
+	if pt.Down() || pt.Peer == nil || pt.Peer.Down() {
+		return false
+	}
+	if psw, ok := pt.Peer.Dev.(*simnet.Switch); ok && psw.Crashed() {
+		return false
+	}
+	return true
+}
+
 // buildRoutes computes shortest-path ECMP FIB entries for every host
 // destination via BFS from each host across the switch graph.
 func buildRoutes(n *Network) {
@@ -216,15 +229,20 @@ func buildRoutes(n *Network) {
 		for i := range dist {
 			dist[i] = -1
 		}
+		if !leaf.Crashed() && linkUp(h.NIC) {
+			dist[idx[leaf]] = 0
+		}
 		queue := []*simnet.Switch{leaf}
-		dist[idx[leaf]] = 0
 		for len(queue) > 0 {
 			sw := queue[0]
 			queue = queue[1:]
 			d := dist[idx[sw]]
+			if d == -1 {
+				continue
+			}
 			for _, pt := range sw.Ports {
 				peer, ok := pt.Peer.Dev.(*simnet.Switch)
-				if !ok {
+				if !ok || !linkUp(pt) {
 					continue
 				}
 				if dist[idx[peer]] == -1 {
@@ -237,6 +255,9 @@ func buildRoutes(n *Network) {
 		// hop closer; the leaf routes directly to the host port.
 		for _, sw := range n.Switches {
 			if sw == leaf {
+				if dist[idx[leaf]] != 0 {
+					continue // host unreachable: its access link is dead
+				}
 				for _, pt := range sw.Ports {
 					if pt.Peer.Dev == simnet.Device(h) {
 						sw.AddRoute(h.IP, pt.ID)
@@ -250,7 +271,7 @@ func buildRoutes(n *Network) {
 			}
 			for _, pt := range sw.Ports {
 				peer, ok := pt.Peer.Dev.(*simnet.Switch)
-				if !ok {
+				if !ok || !linkUp(pt) {
 					continue
 				}
 				if dist[idx[peer]] == d-1 {
@@ -259,4 +280,59 @@ func buildRoutes(n *Network) {
 			}
 		}
 	}
+}
+
+// RebuildRoutes recomputes every switch's ECMP FIB from the current fault
+// state, excluding down links and crashed switches. It is the route-repair
+// step of the recovery pipeline: after it runs, unicast fallback traffic and
+// freshly registered MDTs avoid dead elements. Hosts with no surviving path
+// get no FIB entries; forwarding to them panics, so callers should exclude
+// unreachable members before sending.
+func (n *Network) RebuildRoutes() {
+	for _, sw := range n.Switches {
+		sw.FIB = make(map[simnet.Addr][]int)
+	}
+	buildRoutes(n)
+}
+
+// PathExists reports whether a usable path currently connects hosts a and b
+// under the fault state (down links, crashed switches). The recovery layer
+// consults it before sending unicast traffic or re-registering a group, so
+// a dead destination never drives forwarding into a routeless FIB.
+func (n *Network) PathExists(a, b *simnet.Host) bool {
+	if a == b {
+		return true
+	}
+	if !linkUp(a.NIC) || !linkUp(b.NIC) {
+		return false
+	}
+	aLeaf, ok := a.NIC.Peer.Dev.(*simnet.Switch)
+	if !ok || aLeaf.Crashed() {
+		return false
+	}
+	bLeaf, ok := b.NIC.Peer.Dev.(*simnet.Switch)
+	if !ok || bLeaf.Crashed() {
+		return false
+	}
+	if aLeaf == bLeaf {
+		return true
+	}
+	seen := map[*simnet.Switch]bool{aLeaf: true}
+	queue := []*simnet.Switch{aLeaf}
+	for len(queue) > 0 {
+		sw := queue[0]
+		queue = queue[1:]
+		for _, pt := range sw.Ports {
+			peer, ok := pt.Peer.Dev.(*simnet.Switch)
+			if !ok || !linkUp(pt) || seen[peer] {
+				continue
+			}
+			if peer == bLeaf {
+				return true
+			}
+			seen[peer] = true
+			queue = append(queue, peer)
+		}
+	}
+	return false
 }
