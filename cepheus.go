@@ -181,18 +181,38 @@ func (c *Cluster) Broadcaster(scheme Scheme, nodes []int, slices int) (amcast.Br
 	}
 }
 
-// RunBcast runs one broadcast to completion and returns its JCT. It panics
-// if the collective does not finish within 60 simulated seconds.
-func (c *Cluster) RunBcast(b amcast.Broadcaster, root, size int) sim.Time {
+// BcastTimeout bounds how long RunBcastErr drives a single broadcast before
+// declaring it stuck (in simulated time).
+const BcastTimeout = 60 * sim.Second
+
+// RunBcastErr runs one broadcast to completion and returns its JCT. It
+// returns an error if the event queue drains or BcastTimeout of simulated
+// time elapses before the collective finishes — a lost completion usually
+// means a deadlocked transport or a black-holed route, which callers like
+// long experiment sweeps want to report rather than die on.
+func (c *Cluster) RunBcastErr(b amcast.Broadcaster, root, size int) (sim.Time, error) {
 	start := c.Eng.Now()
 	var end sim.Time = -1
 	b.Bcast(root, size, func() { end = c.Eng.Now() })
 	for end < 0 {
-		if !c.Eng.Step() || c.Eng.Now()-start > 60*sim.Second {
-			panic(fmt.Sprintf("cepheus: %s bcast of %dB did not complete", b.Name(), size))
+		if !c.Eng.Step() {
+			return 0, fmt.Errorf("cepheus: %s bcast of %dB stalled: event queue drained without completion", b.Name(), size)
+		}
+		if c.Eng.Now()-start > BcastTimeout {
+			return 0, fmt.Errorf("cepheus: %s bcast of %dB did not complete within %v", b.Name(), size, BcastTimeout)
 		}
 	}
-	return end - start
+	return end - start, nil
+}
+
+// RunBcast is RunBcastErr for callers that treat a stuck broadcast as a
+// programming error: it panics instead of returning one.
+func (c *Cluster) RunBcast(b amcast.Broadcaster, root, size int) sim.Time {
+	jct, err := c.RunBcastErr(b, root, size)
+	if err != nil {
+		panic(err)
+	}
+	return jct
 }
 
 // SetLossRate injects random data-packet loss on every switch (Fig 13).

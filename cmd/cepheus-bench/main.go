@@ -13,10 +13,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	cepheus "repro"
 	"repro/internal/amcast"
@@ -29,7 +32,26 @@ import (
 	"repro/internal/storage"
 )
 
-var full = flag.Bool("full", false, "run the full-size Fig 12/13 sweeps (slow)")
+var (
+	full    = flag.Bool("full", false, "run the full-size Fig 12/13 sweeps (slow)")
+	jsonOut = flag.String("json", "", "write machine-readable results (one record per broadcast) to this file")
+)
+
+// benchRecord is one broadcast's machine-readable result, written by -json so
+// successive runs can be tracked as a BENCH_*.json trajectory.
+type benchRecord struct {
+	Experiment   string  `json:"experiment"`
+	Case         string  `json:"case"`
+	JCTNs        int64   `json:"jct_ns"`
+	EventsRun    uint64  `json:"events_run"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Allocs       uint64  `json:"allocs"`
+}
+
+var (
+	records []benchRecord
+	curExp  string // experiment currently running, for record attribution
+)
 
 func main() {
 	only := flag.String("only", "", "run one experiment: fig1d|fig7b|fig8|fig9|rdmc|table1|fig10|fig11|hpl-large|fig12|fig13|fig14|safeguard|reduce|pstrain")
@@ -50,6 +72,7 @@ func main() {
 		if *only != "" && !strings.EqualFold(*only, e.name) {
 			continue
 		}
+		curExp = e.name
 		e.run()
 		fmt.Println()
 		ran = true
@@ -58,6 +81,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(records, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runBcast drives one broadcast, records its result for -json, and converts a
+// stalled run into a clean CLI failure instead of a panic.
+func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label string) float64 {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	ev0 := c.Eng.EventsRun()
+	t0 := time.Now()
+	jct, err := c.RunBcastErr(b, root, size)
+	wall := time.Since(t0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s/%s: %v\n", curExp, label, err)
+		os.Exit(1)
+	}
+	runtime.ReadMemStats(&m1)
+	ev := c.Eng.EventsRun() - ev0
+	eps := 0.0
+	if s := wall.Seconds(); s > 0 {
+		eps = float64(ev) / s
+	}
+	records = append(records, benchRecord{
+		Experiment: curExp, Case: label, JCTNs: int64(jct),
+		EventsRun: ev, EventsPerSec: eps, Allocs: m1.Mallocs - m0.Mallocs,
+	})
+	return float64(jct)
 }
 
 func testbedJCT(scheme cepheus.Scheme, size, cellCap int) float64 {
@@ -70,7 +129,7 @@ func testbedJCT(scheme cepheus.Scheme, size, cellCap int) float64 {
 	if err != nil {
 		panic(err)
 	}
-	return float64(c.RunBcast(b, 0, size))
+	return runBcast(c, b, 0, size, fmt.Sprintf("testbed/%s/%s", scheme, exp.FormatBytes(size)))
 }
 
 func fig1d() {
@@ -216,7 +275,8 @@ func fatTreeJCTCells(scheme cepheus.Scheme, groupSize, size int, loss float64, m
 		panic(err)
 	}
 	c.SetLossRate(loss)
-	return float64(c.RunBcast(b, 0, size))
+	return runBcast(c, b, 0, size,
+		fmt.Sprintf("fattree/%s/n%d/%s/loss=%g", scheme, groupSize, exp.FormatBytes(size), loss))
 }
 
 func fig12() {
@@ -406,6 +466,6 @@ func safeguard() {
 	fmt.Println("== §V-D safeguard fallback ==")
 	fmt.Printf("second registration rejected: %v\n", err)
 	fb, _ := c.Broadcaster(cepheus.SchemeChain, []int{0, 1, 2, 3}, 4)
-	jct := c.RunBcast(fb, 0, 1<<20)
+	jct := sim.Time(runBcast(c, fb, 0, 1<<20, "fallback/chain/1MB"))
 	fmt.Printf("fallback %s delivered 1MB in %v\n", fb.Name(), jct)
 }

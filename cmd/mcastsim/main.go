@@ -74,7 +74,10 @@ func main() {
 		log.Fatal(err)
 	}
 	c.SetLossRate(*loss)
-	jct := c.RunBcast(b, 0, size)
+	jct, err := c.RunBcastErr(b, 0, size)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("scheme=%s group=%d size=%s cell=%dB loss=%g\n",
 		b.Name(), *group, exp.FormatBytes(size), tr.MTU, *loss)

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	cepheus "repro"
 	"repro/internal/exp"
@@ -31,7 +32,11 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			return float64(c.RunBcast(b, 0, size))
+			t, err := c.RunBcastErr(b, 0, size)
+			if err != nil {
+				log.Fatalf("bcast %s: %v", scheme, err)
+			}
+			return float64(t)
 		}
 		ceph := jct(cepheus.SchemeCepheus)
 		chain := jct(cepheus.SchemeChain)

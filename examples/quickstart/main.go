@@ -28,7 +28,10 @@ func main() {
 			if err != nil {
 				log.Fatalf("broadcaster %s: %v", scheme, err)
 			}
-			jct := c.RunBcast(b, 0, size)
+			jct, err := c.RunBcastErr(b, 0, size)
+			if err != nil {
+				log.Fatalf("bcast %s: %v", scheme, err)
+			}
 			cells = append(cells, jct.String())
 		}
 		table.Add(exp.FormatBytes(size), cells...)

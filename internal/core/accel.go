@@ -133,10 +133,12 @@ func (a *Accel) MemoryBytes() int {
 // Handle implements simnet.SwitchHook. Cepheus traffic is classified by a
 // multicast destination (data, feedback and MRP all carry dstIP = McstID
 // once inside the fabric); everything else falls through to unicast
-// forwarding.
+// forwarding. Every consumed packet is released here: the per-type handlers
+// replicate via Clone and never retain the original.
 func (a *Accel) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) bool {
 	if p.Type == simnet.MRP && p.Dst.IsMulticast() {
 		a.handleMRP(p, in)
+		p.Release()
 		return true
 	}
 	if !p.Dst.IsMulticast() {
@@ -152,6 +154,7 @@ func (a *Accel) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) boo
 			a.Stats.UnknownGroupDrops++
 			a.nackUnknownGroup(p)
 		}
+		p.Release()
 		return true
 	}
 	switch p.Type {
@@ -161,31 +164,32 @@ func (a *Accel) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) boo
 			if in.ID != mft.AckOutPort {
 				a.handleReduce(mft, p, in)
 			}
-			return true
+		} else {
+			a.handleData(mft, p, in)
 		}
-		a.handleData(mft, p, in)
 	case simnet.Ack:
 		if in.ID == mft.AckOutPort {
 			// Root-side feedback for a reduction: replicate down.
 			a.replicateFeedbackDown(mft, p, in)
-			return true
+		} else {
+			a.handleAck(mft, p, in)
 		}
-		a.handleAck(mft, p, in)
 	case simnet.Nack:
 		if in.ID == mft.AckOutPort {
 			a.replicateFeedbackDown(mft, p, in)
-			return true
+		} else {
+			a.handleNack(mft, p, in)
 		}
-		a.handleNack(mft, p, in)
 	case simnet.CNP:
 		if in.ID == mft.AckOutPort {
 			a.replicateFeedbackDown(mft, p, in)
-			return true
+		} else {
+			a.handleCNP(mft, p, in)
 		}
-		a.handleCNP(mft, p, in)
 	default:
 		return false
 	}
+	p.Release()
 	return true
 }
 
@@ -285,11 +289,10 @@ func (a *Accel) routeNode(mft *MFT, n NodeInfo) (port int, direct bool) {
 
 // reject sends an MRPReject to the controller via unicast forwarding.
 func (a *Accel) reject(pay *MRPPayload, reason string) {
-	rp := &simnet.Packet{
-		Type: simnet.MRPReject, Src: pay.McstID, Dst: pay.CtrlIP,
-		Payload: 64,
-		Meta:    &confirmPayload{McstID: pay.McstID, Epoch: pay.Epoch, Reason: reason},
-	}
+	rp := simnet.NewPacket()
+	rp.Type, rp.Src, rp.Dst = simnet.MRPReject, pay.McstID, pay.CtrlIP
+	rp.Payload = 64
+	rp.Meta = &confirmPayload{McstID: pay.McstID, Epoch: pay.Epoch, Reason: reason}
 	a.sw.Forward(rp, nil)
 }
 
@@ -314,13 +317,12 @@ func (a *Accel) nackUnknownGroup(p *simnet.Packet) {
 	}
 	a.lastUnknownNack[p.Dst] = now
 	a.Stats.UnknownGroupNacks++
-	rp := &simnet.Packet{
-		Type: simnet.MRPReject, Src: p.Dst, Dst: p.Src,
-		Payload: 64,
-		Meta: &confirmPayload{
-			McstID: p.Dst, Epoch: epochUnknown,
-			Reason: "switch " + a.sw.Name + ": no MFT for group (crashed or never registered)",
-		},
+	rp := simnet.NewPacket()
+	rp.Type, rp.Src, rp.Dst = simnet.MRPReject, p.Dst, p.Src
+	rp.Payload = 64
+	rp.Meta = &confirmPayload{
+		McstID: p.Dst, Epoch: epochUnknown,
+		Reason: "switch " + a.sw.Name + ": no MFT for group (crashed or never registered)",
 	}
 	a.sw.Forward(rp, nil)
 }
@@ -400,9 +402,7 @@ func (a *Accel) handleAck(mft *MFT, p *simnet.Packet, in *simnet.Port) {
 		if min, argmin, ok := mft.MinAck(); ok && min >= 0 {
 			mft.AggAckPSN, mft.AggValid, mft.TriPort = min, true, argmin
 			a.Stats.AcksEmitted++
-			a.emitFeedback(mft, &simnet.Packet{
-				Type: simnet.Ack, Src: mft.McstID, Dst: mft.McstID, PSN: uint64(min),
-			})
+			a.emitFeedback(mft, newFeedback(simnet.Ack, mft.McstID, uint64(min)))
 		}
 		return
 	}
@@ -453,10 +453,7 @@ func (a *Accel) tryEmit(mft *MFT) {
 			mft.lastNackPSN, mft.lastNackAt = mft.MePSN, now
 			mft.AggAckPSN, mft.AggValid, mft.TriPort = min, true, argmin
 			a.Stats.NacksEmitted++
-			a.emitFeedback(mft, &simnet.Packet{
-				Type: simnet.Nack, Src: mft.McstID, Dst: mft.McstID,
-				PSN: uint64(mft.MePSN),
-			})
+			a.emitFeedback(mft, newFeedback(simnet.Nack, mft.McstID, uint64(mft.MePSN)))
 		}
 		// Discard the history either way: the NACK for this ePSN is out
 		// (or suppressed as an in-flight duplicate).
@@ -471,10 +468,15 @@ func (a *Accel) tryEmit(mft *MFT) {
 	}
 	mft.AggAckPSN, mft.AggValid, mft.TriPort = min, true, argmin
 	a.Stats.AcksEmitted++
-	a.emitFeedback(mft, &simnet.Packet{
-		Type: simnet.Ack, Src: mft.McstID, Dst: mft.McstID,
-		PSN: uint64(min),
-	})
+	a.emitFeedback(mft, newFeedback(simnet.Ack, mft.McstID, uint64(min)))
+}
+
+// newFeedback builds a pooled aggregate feedback packet addressed within the
+// group (emitFeedback bridges it to the source's real connection at the leaf).
+func newFeedback(t simnet.PacketType, group simnet.Addr, psn uint64) *simnet.Packet {
+	p := simnet.NewPacket()
+	p.Type, p.Src, p.Dst, p.PSN = t, group, group, psn
+	return p
 }
 
 func (a *Accel) handleCNP(mft *MFT, p *simnet.Packet, in *simnet.Port) {
@@ -526,7 +528,8 @@ func (a *Accel) ageCNP(mft *MFT) {
 // final hop and rewrites the header to the source's real connection.
 func (a *Accel) emitFeedback(mft *MFT, p *simnet.Packet) {
 	if mft.AckOutPort < 0 {
-		return // no data seen yet; nowhere to send feedback
+		p.Release() // no data seen yet; nowhere to send feedback
+		return
 	}
 	out := a.sw.Ports[mft.AckOutPort]
 	if out.PeerIsHost() {

@@ -298,16 +298,18 @@ func TestUnknownGroupDataDropped(t *testing.T) {
 func TestFeedbackHeaderRewriteAtSenderLeaf(t *testing.T) {
 	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
 	register(t, e)
-	var acks, nacks, cnps []*simnet.Packet
+	// Packets are pooled and released after the handler returns: record
+	// copies, not pointers.
+	var acks, nacks, cnps []simnet.Packet
 	orig := e.net.Hosts[0].Handler
 	e.net.Hosts[0].Handler = func(p *simnet.Packet) {
 		switch p.Type {
 		case simnet.Ack:
-			acks = append(acks, p)
+			acks = append(acks, *p)
 		case simnet.Nack:
-			nacks = append(nacks, p)
+			nacks = append(nacks, *p)
 		case simnet.CNP:
-			cnps = append(cnps, p)
+			cnps = append(cnps, *p)
 		}
 		orig(p)
 	}

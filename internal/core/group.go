@@ -58,11 +58,11 @@ func (a *Agent) handle(p *simnet.Packet) {
 		// confirmation was lost, and duplicates are idempotent upstream.
 		for _, n := range pay.Nodes {
 			if n.IP == a.rnic.Host.IP {
-				a.rnic.Host.Send(&simnet.Packet{
-					Type: simnet.MRPConfirm, Src: a.rnic.Host.IP, Dst: pay.CtrlIP,
-					Payload: 64,
-					Meta:    &confirmPayload{McstID: pay.McstID, Member: n.IP, Epoch: pay.Epoch},
-				})
+				cf := simnet.NewPacket()
+				cf.Type, cf.Src, cf.Dst = simnet.MRPConfirm, a.rnic.Host.IP, pay.CtrlIP
+				cf.Payload = 64
+				cf.Meta = &confirmPayload{McstID: pay.McstID, Member: n.IP, Epoch: pay.Epoch}
+				a.rnic.Host.Send(cf)
 			}
 		}
 	case simnet.MRPConfirm:

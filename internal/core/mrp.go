@@ -38,16 +38,16 @@ type MRPPayload struct {
 // wireBytes is the MRP payload size on the wire, from the Fig 5 codec.
 func (m *MRPPayload) wireBytes() int { return len(EncodeMRP(m)) }
 
-// newMRPPacket builds an MRP packet for a payload. MRP is UDP-based with
-// dstIP = McstID so switches classify it like other group traffic.
+// newMRPPacket builds a pooled MRP packet for a payload. MRP is UDP-based
+// with dstIP = McstID so switches classify it like other group traffic.
 func newMRPPacket(src simnet.Addr, pay *MRPPayload) *simnet.Packet {
-	return &simnet.Packet{
-		Type:    simnet.MRP,
-		Src:     src,
-		Dst:     pay.McstID,
-		Payload: pay.wireBytes(),
-		Meta:    pay,
-	}
+	p := simnet.NewPacket()
+	p.Type = simnet.MRP
+	p.Src = src
+	p.Dst = pay.McstID
+	p.Payload = pay.wireBytes()
+	p.Meta = pay
+	return p
 }
 
 // chunkNodes splits a member list into MRP-sized chunks.

@@ -63,6 +63,7 @@ func NewSafeguard(eng *sim.Engine, qp *roce.QP, threshold float64, window sim.Ti
 		TripWindows: 2, RecoverWindows: 3,
 		qp: qp, eng: eng, lastPSN: qp.AckedPSN(),
 	}
+	s.timer = eng.NewTimer(s.sample)
 	s.arm()
 	return s
 }
@@ -78,13 +79,11 @@ func (s *Safeguard) Tripped() bool { return s.tripped }
 
 // Stop halts monitoring.
 func (s *Safeguard) Stop() {
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 }
 
 func (s *Safeguard) arm() {
-	s.timer = s.eng.AfterTimer(s.Window, s.sample)
+	s.timer.Reset(s.Window)
 }
 
 func (s *Safeguard) sample() {

@@ -28,23 +28,21 @@ type dcqcn struct {
 func newDCQCN(qp *QP, p DCQCNParams) *dcqcn {
 	line := qp.nic.Host.NIC.RateBps
 	c := &dcqcn{qp: qp, p: p, rc: line, rt: line, alpha: 1, lastDecrease: -1 << 60}
+	// Both rate timers live as long as the QP and are re-armed in place —
+	// they fire (or are pushed back by a CNP) thousands of times per flow.
+	c.alphaTimer = qp.eng.NewTimer(c.onAlphaTimer)
+	c.incTimer = qp.eng.NewTimer(c.onIncTimer)
 	c.armAlphaTimer()
 	c.armIncTimer()
 	return c
 }
 
 func (c *dcqcn) armAlphaTimer() {
-	if c.alphaTimer != nil {
-		c.alphaTimer.Stop()
-	}
-	c.alphaTimer = c.qp.eng.AfterTimer(c.p.AlphaTimer, c.onAlphaTimer)
+	c.alphaTimer.Reset(c.p.AlphaTimer)
 }
 
 func (c *dcqcn) armIncTimer() {
-	if c.incTimer != nil {
-		c.incTimer.Stop()
-	}
-	c.incTimer = c.qp.eng.AfterTimer(c.p.IncTimer, c.onIncTimer)
+	c.incTimer.Reset(c.p.IncTimer)
 }
 
 func (c *dcqcn) onAlphaTimer() {

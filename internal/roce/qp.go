@@ -110,6 +110,9 @@ func newQP(r *RNIC, qpn uint32) *QP {
 		lastCNP: -1 << 60, lastRewindAt: -1 << 60,
 		lastNackedPSN: ^uint64(0), lastNackedAt: -1 << 60,
 	}
+	// One re-armable RTO per QP for the connection's lifetime: re-arming on
+	// every ACK moves the single heap entry instead of churning the scheduler.
+	qp.rto = r.eng.NewTimer(qp.onRTO)
 	if r.Cfg.IRN {
 		qp.ooo = make(map[uint64]oooPkt)
 	}
@@ -159,9 +162,7 @@ func (qp *QP) Flush() {
 	qp.wqes = nil
 	qp.sndUna, qp.sndNxt, qp.maxSent = qp.tail, qp.tail, qp.tail
 	qp.rtq = nil
-	if qp.rto != nil {
-		qp.rto.Stop()
-	}
+	qp.rto.Stop()
 	// Responder: discard partial assembly and buffered out-of-order data so
 	// a pre-fault message prefix can never merge with post-recovery bytes.
 	qp.curBytes, qp.curVA, qp.curRKey, qp.curValue = 0, 0, 0, 0
@@ -271,8 +272,11 @@ func (qp *QP) trySend() {
 		at = qp.nextTx
 	}
 	qp.sendScheduled = true
-	qp.eng.Schedule(at, qp.emit)
+	qp.eng.ScheduleHandler(at, qp, nil)
 }
+
+// OnEvent implements sim.Handler: the QP's scheduled emission slot.
+func (qp *QP) OnEvent(*sim.Engine, any) { qp.emit() }
 
 func (qp *QP) emit() {
 	qp.sendScheduled = false
@@ -298,18 +302,17 @@ func (qp *QP) emit() {
 	if payload > qp.nic.Cfg.MTU {
 		payload = qp.nic.Cfg.MTU
 	}
-	p := &simnet.Packet{
-		Type:    simnet.Data,
-		Src:     qp.nic.Host.IP,
-		Dst:     qp.DstIP,
-		SrcQP:   qp.QPN,
-		DstQP:   qp.DstQPN,
-		PSN:     psn,
-		Payload: payload,
-		MsgID:   w.MsgID,
-		Last:    psn == w.LastPSN,
-		Retrans: psn < qp.maxSent,
-	}
+	p := simnet.NewPacket()
+	p.Type = simnet.Data
+	p.Src = qp.nic.Host.IP
+	p.Dst = qp.DstIP
+	p.SrcQP = qp.QPN
+	p.DstQP = qp.DstQPN
+	p.PSN = psn
+	p.Payload = payload
+	p.MsgID = w.MsgID
+	p.Last = psn == w.LastPSN
+	p.Retrans = psn < qp.maxSent
 	if w.IsWrite && idx == 0 {
 		p.WriteVA = w.VA
 		p.WriteRKey = w.RKey
@@ -355,10 +358,7 @@ func (qp *QP) wqeFor(psn uint64) *WQE {
 }
 
 func (qp *QP) armRTO() {
-	if qp.rto != nil {
-		qp.rto.Stop()
-	}
-	qp.rto = qp.eng.AfterTimer(qp.nic.Cfg.RetxTimeout, qp.onRTO)
+	qp.rto.Reset(qp.nic.Cfg.RetxTimeout)
 }
 
 func (qp *QP) onRTO() {
@@ -408,9 +408,7 @@ func (qp *QP) advanceCum(acked uint64) {
 		}
 	}
 	if qp.sndUna >= qp.tail {
-		if qp.rto != nil {
-			qp.rto.Stop()
-		}
+		qp.rto.Stop()
 	} else {
 		qp.armRTO()
 	}
@@ -479,10 +477,10 @@ func (qp *QP) handleData(p *simnet.Packet) {
 	if p.ECN && now-qp.lastCNP >= cfg.CNPInterval {
 		qp.lastCNP = now
 		qp.nic.Stats.CNPsSent++
-		qp.nic.Host.Send(&simnet.Packet{
-			Type: simnet.CNP, Src: qp.nic.Host.IP, Dst: p.Src,
-			SrcQP: qp.QPN, DstQP: p.SrcQP,
-		})
+		cnp := simnet.NewPacket()
+		cnp.Type, cnp.Src, cnp.Dst = simnet.CNP, qp.nic.Host.IP, p.Src
+		cnp.SrcQP, cnp.DstQP = qp.QPN, p.SrcQP
+		qp.nic.Host.Send(cnp)
 	}
 	switch {
 	case p.PSN == qp.rqPSN:
@@ -563,16 +561,16 @@ func (qp *QP) ingest(payload int, last bool, msgID uint64, va uint64, rkey uint3
 
 func (qp *QP) sendNack(ref *simnet.Packet) {
 	qp.nic.Stats.NacksSent++
-	qp.nic.Host.Send(&simnet.Packet{
-		Type: simnet.Nack, Src: qp.nic.Host.IP, Dst: ref.Src,
-		SrcQP: qp.QPN, DstQP: ref.SrcQP, PSN: qp.rqPSN,
-	})
+	n := simnet.NewPacket()
+	n.Type, n.Src, n.Dst = simnet.Nack, qp.nic.Host.IP, ref.Src
+	n.SrcQP, n.DstQP, n.PSN = qp.QPN, ref.SrcQP, qp.rqPSN
+	qp.nic.Host.Send(n)
 }
 
 func (qp *QP) sendAck(p *simnet.Packet) {
 	qp.nic.Stats.AcksSent++
-	qp.nic.Host.Send(&simnet.Packet{
-		Type: simnet.Ack, Src: qp.nic.Host.IP, Dst: p.Src,
-		SrcQP: qp.QPN, DstQP: p.SrcQP, PSN: qp.rqPSN - 1,
-	})
+	a := simnet.NewPacket()
+	a.Type, a.Src, a.Dst = simnet.Ack, qp.nic.Host.IP, p.Src
+	a.SrcQP, a.DstQP, a.PSN = qp.QPN, p.SrcQP, qp.rqPSN-1
+	qp.nic.Host.Send(a)
 }

@@ -5,10 +5,17 @@
 // the order they were scheduled, which keeps runs bit-for-bit reproducible
 // for a given seed. Everything above it — links, switches, RNICs, the Cepheus
 // accelerator — is built as callbacks on this engine.
+//
+// The scheduler is allocation-free on its hot paths: events are pointer-free
+// key records in a hand-rolled 4-ary heap (payloads live in a recycled slot
+// arena, so sifting triggers no GC write barriers), the typed
+// Handler dispatch path carries a receiver plus argument without building a
+// closure per event, and Timers own a single heap slot that Reset re-arms and
+// Stop removes in place — arming and cancelling schedules no garbage. See
+// DESIGN.md §8 for the internals.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -47,33 +54,51 @@ func (t Time) String() string {
 	}
 }
 
+// Handler is the typed event dispatch path: hot paths implement OnEvent once
+// and schedule (receiver, arg) pairs instead of building a closure per event.
+// arg carries per-event state; storing pointers in it does not allocate.
+type Handler interface {
+	OnEvent(e *Engine, arg any)
+}
+
+// event is one heap key: the ordering fields plus the index of the payload
+// slot. Keys are deliberately pointer-free so sifting them around the heap
+// copies 24 bytes with no GC write barriers — the single hottest operation
+// in the simulator.
 type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among equal timestamps
-	fn  func()
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	slot int32  // index into Engine.slots
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (timestamp, schedule order).
+func (ev *event) before(other *event) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
 	}
-	return h[i].seq < h[j].seq
+	return ev.seq < other.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
-func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// eslot is one scheduled callback's payload, parked outside the heap so heap
+// moves never touch pointers. Exactly one of fn, h, or tm is set: fn is the
+// closure path, h the typed-handler path, tm a Timer's slot (the timer tracks
+// its slot index so Stop/Reset can find its heap key in O(1) via heap).
+type eslot struct {
+	fn   func()
+	h    Handler
+	arg  any
+	tm   *Timer
+	heap int32 // current heap index of this slot's key
+}
 
 // Engine is a single-threaded discrete-event scheduler with a seeded RNG.
 // The zero value is not usable; construct with New.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []event // 4-ary min-heap of pointer-free key records
+	slots   []eslot // payload arena, indexed by event.slot
+	free    []int32 // recycled slot indices
 	rng     *rand.Rand
 	stopped bool
 	nRun    uint64
@@ -94,64 +119,247 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // EventsRun reports how many events have executed so far.
 func (e *Engine) EventsRun() uint64 { return e.nRun }
 
-// Pending reports how many events are currently scheduled.
+// Pending reports how many events are currently scheduled. Stopped timers do
+// not linger here: cancelling removes the heap entry immediately.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Schedule runs fn at absolute time at. It panics if at precedes Now, since a
-// causal model can never schedule into the past.
-func (e *Engine) Schedule(at Time, fn func()) {
+// ---- 4-ary heap of pointer-free key records ----
+//
+// A 4-ary layout halves the tree depth of a binary heap and keeps children in
+// one cache line, which is where a discrete-event simulator spends its time.
+// Children of i are 4i+1..4i+4; parent of i is (i-1)/4.
+
+// allocSlot returns a free payload slot, recycling before growing.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	e.slots = append(e.slots, eslot{})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot zeroes slot s (dropping callback/arg references for the GC) and
+// recycles it.
+func (e *Engine) freeSlot(s int32) {
+	e.slots[s] = eslot{}
+	e.free = append(e.free, s)
+}
+
+// setEvent writes key ev into heap position i, maintaining the payload's
+// back-pointer.
+func (e *Engine) setEvent(i int, ev event) {
+	e.events[i] = ev
+	e.slots[ev.slot].heap = int32(i)
+}
+
+// siftUp moves the event at slot i toward the root until ordered.
+func (e *Engine) siftUp(i int) {
+	ev := e.events[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.before(&e.events[parent]) {
+			break
+		}
+		e.setEvent(i, e.events[parent])
+		i = parent
+	}
+	e.setEvent(i, ev)
+}
+
+// siftDown moves the event at slot i toward the leaves until ordered.
+func (e *Engine) siftDown(i int) {
+	n := len(e.events)
+	ev := e.events[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.events[c].before(&e.events[best]) {
+				best = c
+			}
+		}
+		if !e.events[best].before(&ev) {
+			break
+		}
+		e.setEvent(i, e.events[best])
+		i = best
+	}
+	e.setEvent(i, ev)
+}
+
+// push inserts ev into the heap.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	e.siftUp(len(e.events) - 1)
+}
+
+// pop removes the earliest event, returning its timestamp and payload. The
+// payload slot is recycled before the caller dispatches, so a callback that
+// schedules immediately reuses the slot it just vacated.
+func (e *Engine) pop() (Time, eslot) {
+	top := e.events[0]
+	n := len(e.events) - 1
+	if n > 0 {
+		e.setEvent(0, e.events[n])
+	}
+	e.events = e.events[:n] // keys hold no pointers; no need to zero
+	if n > 1 {
+		e.siftDown(0)
+	}
+	sl := e.slots[top.slot]
+	if sl.tm != nil {
+		sl.tm.slot = -1
+	}
+	e.freeSlot(top.slot)
+	return top.at, sl
+}
+
+// remove deletes the event at heap position i (a cancelled timer's entry).
+func (e *Engine) remove(i int) {
+	s := e.events[i].slot
+	if tm := e.slots[s].tm; tm != nil {
+		tm.slot = -1
+	}
+	e.freeSlot(s)
+	n := len(e.events) - 1
+	moved := e.events[n]
+	e.events = e.events[:n]
+	if i < n {
+		e.setEvent(i, moved)
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+// schedule validates the timestamp, parks the payload in a slot, and pushes
+// its key.
+func (e *Engine) schedule(at Time, fn func(), h Handler, arg any) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	s := e.allocSlot()
+	sl := &e.slots[s]
+	sl.fn, sl.h, sl.arg = fn, h, arg
+	e.push(event{at: at, seq: e.seq, slot: s})
+}
+
+// Schedule runs fn at absolute time at. It panics if at precedes Now, since a
+// causal model can never schedule into the past.
+func (e *Engine) Schedule(at Time, fn func()) {
+	e.schedule(at, fn, nil, nil)
 }
 
 // After runs fn d nanoseconds from now. A negative d panics via Schedule.
 func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
 
-// Timer is a cancellable scheduled callback.
-type Timer struct {
-	stopped bool
-	fired   bool
+// ScheduleHandler runs h.OnEvent(e, arg) at absolute time at. Unlike
+// Schedule, it allocates nothing when h and arg hold pointers — the typed
+// path per-packet machinery (ports, QPs) uses on every hop.
+func (e *Engine) ScheduleHandler(at Time, h Handler, arg any) {
+	e.schedule(at, nil, h, arg)
 }
 
-// Stop cancels the timer if it has not fired. It reports whether the call
-// prevented the callback from running.
+// AfterHandler runs h.OnEvent(e, arg) d nanoseconds from now.
+func (e *Engine) AfterHandler(d Time, h Handler, arg any) {
+	e.ScheduleHandler(e.now+d, h, arg)
+}
+
+// Timer is a cancellable, re-armable scheduled callback. A timer owns at most
+// one heap slot: Reset re-arms it in place and Stop removes it immediately,
+// so arm/cancel churn (RoCE retransmission timers, DCQCN rate timers) neither
+// allocates nor strands dead entries in the scheduler until their deadline.
+// Construct with Engine.NewTimer (reusable across arms) or Engine.AfterTimer.
+type Timer struct {
+	eng   *Engine
+	fn    func()
+	slot  int32 // payload slot while armed, -1 otherwise
+	fired bool
+}
+
+// NewTimer creates an unarmed timer that will run fn each time it fires.
+// The callback is fixed at construction so re-arming allocates nothing.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	return &Timer{eng: e, fn: fn, slot: -1}
+}
+
+// AfterTimer schedules fn after d and returns a handle that can cancel or
+// re-arm it.
+func (e *Engine) AfterTimer(d Time, fn func()) *Timer {
+	t := e.NewTimer(fn)
+	t.Reset(d)
+	return t
+}
+
+// Reset (re-)arms the timer to fire d nanoseconds from now, whether it is
+// pending, stopped, or already fired. A pending timer's heap slot is moved in
+// place; no new entry is created.
+func (t *Timer) Reset(d Time) {
+	e := t.eng
+	at := e.now + d
+	if at < e.now {
+		panic(fmt.Sprintf("sim: timer reset at %v before now %v", at, e.now))
+	}
+	t.fired = false
+	e.seq++
+	if t.slot >= 0 {
+		i := int(e.slots[t.slot].heap)
+		e.events[i].at = at
+		e.events[i].seq = e.seq
+		e.siftDown(i)
+		e.siftUp(i)
+		return
+	}
+	s := e.allocSlot()
+	e.slots[s].tm = t
+	t.slot = s
+	e.push(event{at: at, seq: e.seq, slot: s})
+}
+
+// Stop cancels the timer if it is pending, removing its entry from the
+// scheduler immediately. It reports whether the call prevented the callback
+// from running.
 func (t *Timer) Stop() bool {
-	if t.fired || t.stopped {
+	if t.slot < 0 {
 		return false
 	}
-	t.stopped = true
+	t.eng.remove(int(t.eng.slots[t.slot].heap))
 	return true
 }
 
-// Fired reports whether the callback has already run.
-func (t *Timer) Fired() bool { return t.fired }
+// Pending reports whether the timer is armed and has not yet fired.
+func (t *Timer) Pending() bool { return t.slot >= 0 }
 
-// AfterTimer schedules fn after d and returns a handle that can cancel it.
-func (e *Engine) AfterTimer(d Time, fn func()) *Timer {
-	t := &Timer{}
-	e.After(d, func() {
-		if t.stopped {
-			return
-		}
-		t.fired = true
-		fn()
-	})
-	return t
-}
+// Fired reports whether the callback ran since the last Reset.
+func (t *Timer) Fired() bool { return t.fired }
 
 // Step executes the next pending event, advancing the clock to its timestamp.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if e.events.empty() || e.stopped {
+	if len(e.events) == 0 || e.stopped {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
-	e.now = ev.at
+	at, sl := e.pop()
+	e.now = at
 	e.nRun++
-	ev.fn()
+	switch {
+	case sl.tm != nil:
+		sl.tm.fired = true
+		sl.tm.fn()
+	case sl.h != nil:
+		sl.h.OnEvent(e, sl.arg)
+	default:
+		sl.fn()
+	}
 	return true
 }
 
@@ -163,7 +371,7 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
 func (e *Engine) RunUntil(t Time) {
-	for !e.events.empty() && !e.stopped && e.events.peek().at <= t {
+	for len(e.events) > 0 && !e.stopped && e.events[0].at <= t {
 		e.Step()
 	}
 	if !e.stopped && e.now < t {

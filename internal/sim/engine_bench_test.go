@@ -46,3 +46,35 @@ func BenchmarkTimerChurn(b *testing.B) {
 	}
 	e.Run()
 }
+
+// BenchmarkTimerReset measures the re-armable path QPs use per ACK: one timer,
+// endlessly re-armed in place. Should be allocation-free.
+func BenchmarkTimerReset(b *testing.B) {
+	e := New(1)
+	t := e.NewTimer(func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Reset(1000)
+	}
+	t.Stop()
+}
+
+// BenchmarkHandlerDispatch measures the typed-handler path ports use per hop.
+// Should be allocation-free when the handler and arg are pointers.
+func BenchmarkHandlerDispatch(b *testing.B) {
+	e := New(1)
+	h := &nopHandler{}
+	arg := &struct{}{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.AfterHandler(Time(i%1000), h, arg)
+		if i%1024 == 0 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+type nopHandler struct{}
+
+func (*nopHandler) OnEvent(*Engine, any) {}

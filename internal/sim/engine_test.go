@@ -117,6 +117,113 @@ func TestTimerFires(t *testing.T) {
 	}
 }
 
+// Regression: repeatedly arming and stopping a timer must not grow the
+// scheduler. The old implementation left cancelled closures in the heap until
+// their deadline, so RTO churn (re-armed on every ACK) accumulated garbage.
+func TestTimerChurnDoesNotGrowPending(t *testing.T) {
+	e := New(1)
+	tm := e.NewTimer(func() {})
+	for i := 0; i < 10000; i++ {
+		tm.Reset(1000)
+		tm.Stop()
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after arm/stop churn, want 0", e.Pending())
+	}
+	for i := 0; i < 10000; i++ {
+		tm.Reset(1000)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d after repeated Reset, want 1", e.Pending())
+	}
+}
+
+func TestTimerReset(t *testing.T) {
+	e := New(1)
+	var firedAt []Time
+	tm := e.NewTimer(func() { firedAt = append(firedAt, e.Now()) })
+	if tm.Pending() {
+		t.Fatal("new timer reports pending")
+	}
+	tm.Reset(10)
+	tm.Reset(30) // re-arm while pending: deadline moves, no duplicate fire
+	e.Run()
+	if len(firedAt) != 1 || firedAt[0] != 30 {
+		t.Fatalf("firedAt = %v, want [30]", firedAt)
+	}
+	tm.Reset(10) // re-arm after firing
+	if tm.Fired() {
+		t.Fatal("Fired() still true after Reset")
+	}
+	e.Run()
+	if len(firedAt) != 2 || firedAt[1] != 40 {
+		t.Fatalf("firedAt = %v, want [30 40]", firedAt)
+	}
+}
+
+// Reset while pending must keep FIFO fairness: the re-armed timer gets a fresh
+// sequence number, so it runs after events already scheduled at the same
+// instant — exactly as if it had been cancelled and re-scheduled.
+func TestTimerResetReordersAfterPeers(t *testing.T) {
+	e := New(1)
+	var got []string
+	tm := e.NewTimer(func() { got = append(got, "timer") })
+	tm.Reset(10)
+	e.Schedule(10, func() { got = append(got, "fn") })
+	tm.Reset(10)
+	e.Run()
+	if len(got) != 2 || got[0] != "fn" || got[1] != "timer" {
+		t.Fatalf("order = %v, want [fn timer]", got)
+	}
+}
+
+type recordingHandler struct {
+	got []any
+	at  []Time
+}
+
+func (h *recordingHandler) OnEvent(e *Engine, arg any) {
+	h.got = append(h.got, arg)
+	h.at = append(h.at, e.Now())
+}
+
+func TestScheduleHandler(t *testing.T) {
+	e := New(1)
+	h := &recordingHandler{}
+	e.ScheduleHandler(20, h, "b")
+	e.ScheduleHandler(10, h, "a")
+	e.AfterHandler(30, h, nil)
+	e.Run()
+	if len(h.got) != 3 || h.got[0] != "a" || h.got[1] != "b" || h.got[2] != nil {
+		t.Fatalf("handler args = %v", h.got)
+	}
+	if h.at[0] != 10 || h.at[1] != 20 || h.at[2] != 30 {
+		t.Fatalf("handler times = %v", h.at)
+	}
+}
+
+// Closure, handler, and timer events scheduled at one instant interleave in
+// schedule order — the dispatch paths share one sequence space.
+func TestMixedDispatchFIFO(t *testing.T) {
+	e := New(1)
+	var got []any
+	h := &recordingHandler{}
+	e.Schedule(5, func() { got = append(got, "fn1") })
+	e.ScheduleHandler(5, h, "h1")
+	tm := e.NewTimer(func() { got = append(got, "tm") })
+	tm.Reset(5)
+	e.Schedule(5, func() { got = append(got, "fn2") })
+	e.Run()
+	// Handler records separately; merge check via timestamps is overkill —
+	// assert closure/timer order and that the handler ran once.
+	if len(got) != 3 || got[0] != "fn1" || got[1] != "tm" || got[2] != "fn2" {
+		t.Fatalf("closure/timer order = %v", got)
+	}
+	if len(h.got) != 1 {
+		t.Fatalf("handler ran %d times, want 1", len(h.got))
+	}
+}
+
 func TestStopResume(t *testing.T) {
 	e := New(1)
 	ran := 0

@@ -26,7 +26,9 @@ func NewHost(eng *sim.Engine, name string, ip Addr, rateBps float64, prop sim.Ti
 // DeviceName implements Device.
 func (h *Host) DeviceName() string { return h.Name }
 
-// Receive implements Device.
+// Receive implements Device. The packet is released after the handler
+// returns: a Handler that wants to keep any of it must copy fields out or
+// Clone before returning.
 func (h *Host) Receive(p *Packet, in *Port) {
 	switch p.Type {
 	case Pause:
@@ -38,6 +40,7 @@ func (h *Host) Receive(p *Packet, in *Port) {
 			h.Handler(p)
 		}
 	}
+	p.Release()
 }
 
 // Send transmits p out the host's NIC.

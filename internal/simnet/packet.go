@@ -130,6 +130,12 @@ type Packet struct {
 	// acct tracks PFC ingress-buffer accounting inside a switch; it is
 	// internal to simnet.
 	acct *ingressAccount
+
+	// txEpoch/peerEpoch snapshot both link endpoints' fail-stop epochs when
+	// the frame starts serializing; delivery discards the frame if either end
+	// flapped while it was in flight. Internal to Port.
+	txEpoch   uint64
+	peerEpoch uint64
 }
 
 // Size returns the on-wire size in bytes.
@@ -140,13 +146,16 @@ func (p *Packet) Size() int {
 	return p.Payload + WireOverhead
 }
 
-// Clone returns a copy that can be rewritten and forwarded independently.
-// Accounting state is not inherited; Meta is shared (control payloads are
-// immutable by convention).
+// Clone returns a pooled copy that can be rewritten and forwarded
+// independently. Accounting and in-flight state are not inherited; Meta is
+// shared (control payloads are immutable by convention). The clone is owned
+// by the caller and must eventually reach a releasing sink.
 func (p *Packet) Clone() *Packet {
-	q := *p
+	q := NewPacket()
+	*q = *p
 	q.acct = nil
-	return &q
+	q.txEpoch, q.peerEpoch = 0, 0
+	return q
 }
 
 func (p *Packet) String() string {

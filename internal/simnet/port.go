@@ -70,7 +70,7 @@ type Port struct {
 	Stats PortStats
 
 	eng    *sim.Engine
-	queues [2][]*Packet // [0] control/feedback (strict priority), [1] data
+	queues [2]pktRing // [0] control/feedback (strict priority), [1] data
 	qBytes int
 	busy   bool
 	paused bool
@@ -80,6 +80,45 @@ type Port struct {
 	// the link died are discarded at delivery time.
 	down  bool
 	epoch uint64
+
+	// Typed event handlers, allocated once with the port so per-packet
+	// scheduling boxes nothing (&pt.txDoneH is an interior pointer).
+	txDoneH  txDoneHandler
+	deliverH deliverHandler
+}
+
+// txDoneHandler fires when a frame finishes serializing: the link is free for
+// the next frame and the frame's ingress-buffer reservation is returned.
+type txDoneHandler struct{ pt *Port }
+
+func (h *txDoneHandler) OnEvent(_ *sim.Engine, arg any) {
+	pt := h.pt
+	p := arg.(*Packet)
+	pt.busy = false
+	if p.acct != nil {
+		p.acct.release(p.Size())
+		p.acct = nil
+	}
+	if pt.OnDrain != nil && pt.qBytes <= pt.LowWater {
+		pt.OnDrain()
+	}
+	pt.trySend()
+}
+
+// deliverHandler fires when a frame finishes propagating: the peer device
+// receives it, unless either end of the link flapped while it was in flight.
+type deliverHandler struct{ pt *Port }
+
+func (h *deliverHandler) OnEvent(_ *sim.Engine, arg any) {
+	pt := h.pt
+	p := arg.(*Packet)
+	peer := pt.Peer
+	if pt.epoch != p.txEpoch || peer.epoch != p.peerEpoch {
+		pt.Stats.FaultDrops++
+		p.Release()
+		return
+	}
+	peer.Dev.Receive(p, peer)
 }
 
 // queue classes (Fig 7a's queue system: physical-queue-level isolation,
@@ -88,6 +127,55 @@ const (
 	qCtrl = 0
 	qData = 1
 )
+
+// pktRing is a FIFO of packets backed by a reusable circular buffer. A
+// plain slice with append/[1:] leaks its front capacity, so a busy port's
+// steady enqueue/dequeue cycle reallocates on nearly every frame; the ring
+// allocates only when the queue outgrows its high-water mark.
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (r *pktRing) len() int { return r.n }
+
+func (r *pktRing) grow() {
+	c := len(r.buf) * 2
+	if c == 0 {
+		c = 8
+	}
+	nb := make([]*Packet, c)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *pktRing) pushBack(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *pktRing) pushFront(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head + len(r.buf) - 1) % len(r.buf)
+	r.buf[r.head] = p
+	r.n++
+}
+
+func (r *pktRing) popFront() *Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
+}
 
 func classOf(p *Packet) int {
 	switch p.Type {
@@ -100,7 +188,10 @@ func classOf(p *Packet) int {
 
 // NewPort creates an unconnected port owned by dev.
 func NewPort(eng *sim.Engine, dev Device, rateBps float64, prop sim.Time) *Port {
-	return &Port{Dev: dev, RateBps: rateBps, PropDelay: prop, eng: eng, QueueLimit: 4 << 20}
+	pt := &Port{Dev: dev, RateBps: rateBps, PropDelay: prop, eng: eng, QueueLimit: 4 << 20}
+	pt.txDoneH.pt = pt
+	pt.deliverH.pt = pt
+	return pt
 }
 
 // Connect wires two ports as a full-duplex link. Both sides must be
@@ -142,15 +233,16 @@ func (pt *Port) SetDown(down bool) {
 // releasing ingress-buffer accounting so PFC cannot deadlock on a dead link.
 func (pt *Port) purge() {
 	for cls := range pt.queues {
-		for _, p := range pt.queues[cls] {
+		for pt.queues[cls].len() > 0 {
+			p := pt.queues[cls].popFront()
 			pt.Stats.Drops++
 			pt.Stats.FaultDrops++
 			if p.acct != nil {
 				p.acct.release(p.Size())
 				p.acct = nil
 			}
+			p.Release()
 		}
-		pt.queues[cls] = nil
 	}
 	pt.qBytes = 0
 }
@@ -186,9 +278,10 @@ func (pt *Port) SendUrgent(p *Packet) {
 	if pt.down {
 		pt.Stats.Drops++
 		pt.Stats.FaultDrops++
+		p.Release()
 		return
 	}
-	pt.queues[qCtrl] = append([]*Packet{p}, pt.queues[qCtrl]...)
+	pt.queues[qCtrl].pushFront(p)
 	pt.qBytes += p.Size()
 	pt.trySend()
 }
@@ -198,17 +291,13 @@ func (pt *Port) enqueue(p *Packet, urgent bool) {
 	if pt.down {
 		pt.Stats.Drops++
 		pt.Stats.FaultDrops++
-		if p.acct != nil {
-			p.acct = nil
-		}
+		p.Release()
 		return
 	}
 	if pt.QueueLimit > 0 && pt.qBytes+size > pt.QueueLimit {
 		pt.Stats.Drops++
-		if p.acct != nil {
-			// The packet never occupied the queue; nothing to release.
-			p.acct = nil
-		}
+		// The packet never occupied the queue; no accounting to release.
+		p.Release()
 		return
 	}
 	if pt.ECN.Enabled && p.Type == Data && pt.markProbability() > 0 {
@@ -221,7 +310,7 @@ func (pt *Port) enqueue(p *Packet, urgent bool) {
 		p.acct.add(size)
 	}
 	cls := classOf(p)
-	pt.queues[cls] = append(pt.queues[cls], p)
+	pt.queues[cls].pushBack(p)
 	pt.qBytes += size
 	if pt.qBytes > pt.Stats.MaxQueued {
 		pt.Stats.MaxQueued = pt.qBytes
@@ -250,42 +339,22 @@ func (pt *Port) trySend() {
 	}
 	// Strict priority: drain control/feedback before bulk data.
 	cls := qCtrl
-	if len(pt.queues[qCtrl]) == 0 {
+	if pt.queues[qCtrl].len() == 0 {
 		cls = qData
 	}
-	if len(pt.queues[cls]) == 0 {
+	if pt.queues[cls].len() == 0 {
 		return
 	}
-	p := pt.queues[cls][0]
-	pt.queues[cls] = pt.queues[cls][1:]
+	p := pt.queues[cls].popFront()
 	size := p.Size()
 	pt.qBytes -= size
 	pt.busy = true
 	tx := pt.TxTime(size)
 	pt.Stats.TxPackets++
 	pt.Stats.TxBytes += uint64(size)
-	peer := pt.Peer
-	pt.eng.After(tx, func() {
-		pt.busy = false
-		if p.acct != nil {
-			p.acct.release(size)
-			p.acct = nil
-		}
-		if pt.OnDrain != nil && pt.qBytes <= pt.LowWater {
-			pt.OnDrain()
-		}
-		pt.trySend()
-	})
-	txEpoch, peerEpoch := pt.epoch, peer.epoch
-	pt.eng.After(tx+pt.PropDelay, func() {
-		// A frame on the wire is lost if either end of the link failed (or
-		// flapped) while it was in flight.
-		if pt.epoch != txEpoch || peer.epoch != peerEpoch {
-			pt.Stats.FaultDrops++
-			return
-		}
-		peer.Dev.Receive(p, peer)
-	})
+	p.txEpoch, p.peerEpoch = pt.epoch, pt.Peer.epoch
+	pt.eng.AfterHandler(tx, &pt.txDoneH, p)
+	pt.eng.AfterHandler(tx+pt.PropDelay, &pt.deliverH, p)
 }
 
 // setPaused flips PFC pause state on this egress.

@@ -53,16 +53,18 @@ func TestPacketClone(t *testing.T) {
 
 func TestHostToHostDelivery(t *testing.T) {
 	eng, a, b := newPair(t)
-	var got *Packet
+	delivered := false
 	var at sim.Time
-	b.Handler = func(p *Packet) { got = p; at = eng.Now() }
+	// The host releases the packet after the handler returns: copy what the
+	// assertion needs instead of retaining the pointer.
+	b.Handler = func(p *Packet) { delivered = true; at = eng.Now() }
 	p := &Packet{Type: Data, Src: a.IP, Dst: b.IP, Payload: 1024}
+	wantTx := a.NIC.TxTime(p.Size())
 	a.Send(p)
 	eng.Run()
-	if got == nil {
+	if !delivered {
 		t.Fatal("packet not delivered")
 	}
-	wantTx := a.NIC.TxTime(p.Size())
 	want := wantTx + 600
 	if at != want {
 		t.Fatalf("delivered at %v, want %v (tx %v + prop 600ns)", at, want, wantTx)

@@ -40,7 +40,9 @@ func (a *ingressAccount) add(n int) {
 	if cfg.Enabled && !a.paused && a.bytes >= cfg.XOffBytes {
 		a.paused = true
 		a.in.Stats.PauseSent++
-		a.in.SendUrgent(&Packet{Type: Pause})
+		f := NewPacket()
+		f.Type = Pause
+		a.in.SendUrgent(f)
 	}
 }
 
@@ -50,7 +52,9 @@ func (a *ingressAccount) release(n int) {
 	if cfg.Enabled && a.paused && a.bytes <= cfg.XOnBytes {
 		a.paused = false
 		a.in.Stats.ResumeSent++
-		a.in.SendUrgent(&Packet{Type: Resume})
+		f := NewPacket()
+		f.Type = Resume
+		a.in.SendUrgent(f)
 	}
 }
 
@@ -177,14 +181,17 @@ func (sw *Switch) Restart() {
 func (sw *Switch) Receive(p *Packet, in *Port) {
 	if sw.down {
 		sw.CrashDrops++
+		p.Release()
 		return
 	}
 	switch p.Type {
 	case Pause:
 		in.setPaused(true)
+		p.Release()
 		return
 	case Resume:
 		in.setPaused(false)
+		p.Release()
 		return
 	}
 	if sw.Hook != nil && sw.Hook.Handle(sw, p, in) {
@@ -199,6 +206,7 @@ func (sw *Switch) Forward(p *Packet, in *Port) {
 	ports, ok := sw.FIB[p.Dst]
 	if !ok || len(ports) == 0 {
 		sw.NoRouteDrops++
+		p.Release()
 		return
 	}
 	out := ports[0]
@@ -213,14 +221,17 @@ func (sw *Switch) Forward(p *Packet, in *Port) {
 func (sw *Switch) Output(p *Packet, out int, in *Port) {
 	if sw.down {
 		sw.CrashDrops++
+		p.Release()
 		return
 	}
 	if sw.LossRate > 0 && p.Type == Data && sw.eng.Rand().Float64() < sw.LossRate {
 		sw.DataDrops++
+		p.Release()
 		return
 	}
 	if sw.ControlLossRate > 0 && isLossyControl(p.Type) && sw.eng.Rand().Float64() < sw.ControlLossRate {
 		sw.CtrlDrops++
+		p.Release()
 		return
 	}
 	if sw.PFC.Enabled && in != nil && in.Dev == Device(sw) {
