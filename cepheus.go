@@ -42,6 +42,21 @@ type Options struct {
 	// LinkRate and PropDelay override the fabric parameters.
 	LinkRate  float64
 	PropDelay sim.Time
+
+	// Workers selects the execution mode. 0 or 1 (the default) is the
+	// single-threaded engine every existing caller uses — Cluster.Eng drives
+	// everything. 2 or more partitions the topology into one logical process
+	// per switch and executes them on that many goroutines under
+	// conservative lookahead synchronization (DESIGN.md §9); Cluster.Eng is
+	// then nil and Cluster.Par coordinates. The partition is fixed by the
+	// topology, so any Workers >= 2 value produces byte-identical simulated
+	// results — the knob trades wall-clock speed only.
+	//
+	// Parallel mode currently supports SchemeCepheus broadcasts and is
+	// incompatible with runtime fault injection (internal/fault) and the
+	// AMcast overlay baselines, whose completion accounting is inherently
+	// cross-member.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -67,7 +82,10 @@ func (o *Options) fill() {
 // Cluster is a simulated RoCE datacenter with Cepheus accelerators on every
 // switch.
 type Cluster struct {
-	Eng    *sim.Engine
+	// Eng drives a sequential cluster (Workers <= 1); nil in parallel mode.
+	Eng *sim.Engine
+	// Par coordinates a partitioned cluster (Workers >= 2); nil otherwise.
+	Par    *sim.Parallel
 	Net    *topo.Network
 	RNICs  []*roce.RNIC
 	Agents []*core.Agent
@@ -100,6 +118,14 @@ func NewLeafSpine(leaves, spines, hostsPerLeaf int, opts Options) *Cluster {
 
 func wire(eng *sim.Engine, net *topo.Network, opts Options) *Cluster {
 	c := &Cluster{Eng: eng, Net: net}
+	if opts.Workers >= 2 {
+		// Partition before attaching RNICs and accelerators, so every layer
+		// built on top picks up its device's LP engine rather than the
+		// build-time scratch engine (which Partition disconnects).
+		c.Par = sim.NewParallel(opts.Seed, opts.Workers)
+		net.Partition(c.Par)
+		c.Eng = nil
+	}
 	for _, h := range net.Hosts {
 		r := roce.NewRNIC(h, *opts.Transport)
 		c.RNICs = append(c.RNICs, r)
@@ -109,6 +135,25 @@ func wire(eng *sim.Engine, net *topo.Network, opts Options) *Cluster {
 		c.Accels = append(c.Accels, core.Attach(sw, *opts.Accel))
 	}
 	return c
+}
+
+// Parallel reports whether the cluster runs in partitioned parallel mode.
+func (c *Cluster) Parallel() bool { return c.Par != nil }
+
+// EventsRun sums executed events across the cluster's engine(s).
+func (c *Cluster) EventsRun() uint64 {
+	if c.Par != nil {
+		return c.Par.EventsRun()
+	}
+	return c.Eng.EventsRun()
+}
+
+// Close releases execution resources (the parallel worker pool). A no-op in
+// sequential mode; safe to call more than once.
+func (c *Cluster) Close() {
+	if c.Par != nil {
+		c.Par.Close()
+	}
 }
 
 // Hosts returns the number of hosts in the cluster.
@@ -125,13 +170,29 @@ func (c *Cluster) NewGroup(members []int, leader int) (*core.Group, error) {
 		ms = append(ms, &core.Member{Host: c.Net.Hosts[i], RNIC: c.RNICs[i], QP: c.RNICs[i].CreateQP()})
 		ags = append(ags, c.Agents[i])
 	}
-	g := core.NewGroup(c.Eng, core.AllocMcstID(), ms, leader, ags)
+	eng := c.Eng
+	if c.Par != nil {
+		// The group controller lives on the leader host; its timers and
+		// confirmation accounting must run on the leader's LP.
+		eng = ms[leader].Host.Engine()
+	}
+	g := core.NewGroup(eng, core.AllocMcstID(), ms, leader, ags)
 	var err error
 	done := false
 	g.Register(50*sim.Millisecond, func(e error) { err = e; done = true })
-	for !done {
-		if !c.Eng.Step() {
-			return nil, fmt.Errorf("cepheus: registration stalled")
+	if c.Par != nil {
+		// Registration callbacks funnel through the leader LP but touch the
+		// done/err closure shared with this goroutine, so drive the windows
+		// serially — same schedule and results, no worker handoff.
+		limit := c.Par.Now() + 10*sim.Second
+		if out := c.Par.RunSerial(limit, func() bool { return done }); out != sim.Done {
+			return nil, fmt.Errorf("cepheus: registration stalled (%v)", out)
+		}
+	} else {
+		for !done {
+			if !c.Eng.Step() {
+				return nil, fmt.Errorf("cepheus: registration stalled")
+			}
 		}
 	}
 	if err != nil {
@@ -151,6 +212,9 @@ func (c *Cluster) Broadcaster(scheme Scheme, nodes []int, slices int) (amcast.Br
 			return nil, err
 		}
 		return &amcast.Cepheus{Group: g}, nil
+	}
+	if c.Par != nil {
+		return nil, fmt.Errorf("cepheus: scheme %q requires sequential execution (Workers <= 1): overlay completion accounting is cross-member", scheme)
 	}
 	ns := make([]*amcast.Node, len(nodes))
 	for i, j := range nodes {
@@ -191,6 +255,9 @@ const BcastTimeout = 60 * sim.Second
 // means a deadlocked transport or a black-holed route, which callers like
 // long experiment sweeps want to report rather than die on.
 func (c *Cluster) RunBcastErr(b amcast.Broadcaster, root, size int) (sim.Time, error) {
+	if c.Par != nil {
+		return c.runBcastParallel(b, root, size)
+	}
 	start := c.Eng.Now()
 	var end sim.Time = -1
 	b.Bcast(root, size, func() { end = c.Eng.Now() })
@@ -200,6 +267,46 @@ func (c *Cluster) RunBcastErr(b amcast.Broadcaster, root, size int) (sim.Time, e
 		}
 		if c.Eng.Now()-start > BcastTimeout {
 			return 0, fmt.Errorf("cepheus: %s bcast of %dB did not complete within %v", b.Name(), size, BcastTimeout)
+		}
+	}
+	return end - start, nil
+}
+
+// runBcastParallel drives one Cepheus broadcast across the partitioned
+// cluster. Completion is tracked through BcastRecord's per-member time
+// slots — each written only by its owning LP — and detected by the window
+// coordinator, whose barrier provides the happens-before edge. JCT is
+// measured from the source LP's clock at post to the latest member delivery,
+// exactly the sequential definition.
+func (c *Cluster) runBcastParallel(b amcast.Broadcaster, root, size int) (sim.Time, error) {
+	cb, ok := b.(*amcast.Cepheus)
+	if !ok {
+		return 0, fmt.Errorf("cepheus: parallel execution supports only the cepheus scheme, not %s", b.Name())
+	}
+	members := cb.Group.Members
+	idx := root
+	if cb.SrcIndex != nil {
+		idx = cb.SrcIndex(root)
+	}
+	start := members[idx].Host.Engine().Now()
+	times := make([]sim.Time, len(members))
+	cb.BcastRecord(root, size, times)
+	pred := func() bool {
+		for _, t := range times {
+			if t < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	out := c.Par.Run(start+BcastTimeout, pred)
+	if out != sim.Done {
+		return 0, fmt.Errorf("cepheus: %s bcast of %dB stalled in parallel run (%v)", b.Name(), size, out)
+	}
+	end := start
+	for _, t := range times {
+		if t > end {
+			end = t
 		}
 	}
 	return end - start, nil

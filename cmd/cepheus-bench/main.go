@@ -10,6 +10,8 @@
 //	cepheus-bench                 # run everything except the slowest sweeps
 //	cepheus-bench -only fig8      # one experiment
 //	cepheus-bench -full           # include the full Fig 12/13 sweeps
+//	cepheus-bench -name pr3       # also write BENCH_pr3.json for the perf trajectory
+//	cepheus-bench -only pdes -cpuprofile cpu.pb.gz   # profile the parallel executor
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,8 +36,11 @@ import (
 )
 
 var (
-	full    = flag.Bool("full", false, "run the full-size Fig 12/13 sweeps (slow)")
-	jsonOut = flag.String("json", "", "write machine-readable results (one record per broadcast) to this file")
+	full       = flag.Bool("full", false, "run the full-size Fig 12/13 sweeps (slow)")
+	jsonOut    = flag.String("json", "", "write machine-readable results (one record per broadcast) to this file")
+	benchName  = flag.String("name", "", "also write results to BENCH_<name>.json, the machine-tracked perf trajectory")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 )
 
 // benchRecord is one broadcast's machine-readable result, written by -json so
@@ -54,8 +60,42 @@ var (
 )
 
 func main() {
-	only := flag.String("only", "", "run one experiment: fig1d|fig7b|fig8|fig9|rdmc|table1|fig10|fig11|hpl-large|fig12|fig13|fig14|safeguard|reduce|pstrain")
+	only := flag.String("only", "", "run one experiment: fig1d|fig7b|fig8|fig9|rdmc|table1|fig10|fig11|hpl-large|fig12|fig13|fig14|safeguard|reduce|pstrain|pdes")
 	flag.Parse()
+	os.Exit(run(*only))
+}
+
+// run holds main's body so deferred profile writers fire before os.Exit.
+func run(only string) int {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	all := []struct {
 		name string
@@ -65,11 +105,11 @@ func main() {
 		{"rdmc", rdmc}, {"table1", table1}, {"fig10", fig10}, {"fig11", fig11},
 		{"hpl-large", hplLarge}, {"fig12", fig12}, {"fig13", fig13},
 		{"fig14", fig14}, {"safeguard", safeguard},
-		{"reduce", reduceExt}, {"pstrain", psTrain},
+		{"reduce", reduceExt}, {"pstrain", psTrain}, {"pdes", pdes},
 	}
 	ran := false
 	for _, e := range all {
-		if *only != "" && !strings.EqualFold(*only, e.name) {
+		if only != "" && !strings.EqualFold(only, e.name) {
 			continue
 		}
 		curExp = e.name
@@ -78,19 +118,27 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", only)
+		return 2
 	}
+	paths := []string{}
 	if *jsonOut != "" {
+		paths = append(paths, *jsonOut)
+	}
+	if *benchName != "" {
+		paths = append(paths, "BENCH_"+*benchName+".json")
+	}
+	for _, path := range paths {
 		buf, err := json.MarshalIndent(records, "", "  ")
 		if err == nil {
-			err = os.WriteFile(*jsonOut, append(buf, '\n'), 0o644)
+			err = os.WriteFile(path, append(buf, '\n'), 0o644)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			return 1
 		}
 	}
+	return 0
 }
 
 // runBcast drives one broadcast, records its result for -json, and converts a
@@ -98,7 +146,7 @@ func main() {
 func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label string) float64 {
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	ev0 := c.Eng.EventsRun()
+	ev0 := c.EventsRun()
 	t0 := time.Now()
 	jct, err := c.RunBcastErr(b, root, size)
 	wall := time.Since(t0)
@@ -107,7 +155,7 @@ func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label st
 		os.Exit(1)
 	}
 	runtime.ReadMemStats(&m1)
-	ev := c.Eng.EventsRun() - ev0
+	ev := c.EventsRun() - ev0
 	eps := 0.0
 	if s := wall.Seconds(); s > 0 {
 		eps = float64(ev) / s
@@ -450,6 +498,44 @@ func psTrain() {
 			}
 		}
 		t.Add(string(scheme), res.JCT.String(), res.Bcast.String(), res.Reduce.String(), res.Compute.String())
+	}
+	fmt.Print(t)
+}
+
+// pdes sweeps the lookahead-partitioned parallel executor's worker counts on
+// the BenchmarkScaleEvents workload (1MB Cepheus multicast to 64 receivers on
+// the 128-host fat-tree under DCQCN). Simulated results are byte-identical
+// across rows — the determinism suite enforces it — so the sweep isolates
+// wall-clock scaling of the executor itself.
+func pdes() {
+	t := exp.NewTable("PDES: parallel executor scaling (1MB bcast, 65 members, k=8 fat-tree, DCQCN)",
+		"workers", "jct", "events", "wall(ms)", "events/s(M)", "speedup")
+	var base float64
+	for _, w := range []int{1, 2, 4, 8} {
+		core.ResetMcstIDs()
+		tr := roce.DefaultConfig()
+		tr.DCQCN = true
+		c := cepheus.NewFatTree(8, cepheus.Options{Transport: &tr, Workers: w})
+		nodes := make([]int, 65)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		b, err := c.Broadcaster(cepheus.SchemeCepheus, nodes, 65)
+		if err != nil {
+			panic(err)
+		}
+		t0 := time.Now()
+		jct := runBcast(c, b, 0, 1<<20, fmt.Sprintf("workers=%d", w))
+		wall := time.Since(t0)
+		c.Close()
+		rec := records[len(records)-1]
+		if w == 1 {
+			base = rec.EventsPerSec
+		}
+		t.Add(fmt.Sprint(w), sim.Time(jct).String(), fmt.Sprint(rec.EventsRun),
+			fmt.Sprintf("%.1f", float64(wall.Nanoseconds())/1e6),
+			fmt.Sprintf("%.2f", rec.EventsPerSec/1e6),
+			fmt.Sprintf("%.2fx", rec.EventsPerSec/base))
 	}
 	fmt.Print(t)
 }

@@ -83,6 +83,77 @@ func TestDeterminismSameSeedTwice(t *testing.T) {
 	}
 }
 
+// seqParWorkload runs one 256KB Cepheus broadcast over 16 members spread
+// across the 128-host (k=8) fat-tree, with the given worker count (<=1 =
+// the sequential engine, >=2 = the partitioned parallel path), and returns
+// the digest plus the run's event count.
+//
+// The workload is lossless, so neither mode consumes engine randomness
+// (loss injection and ECN marking are the only RNG draws on this path) —
+// the precondition for sequential and partitioned runs to be comparable at
+// all, since the partitioned mode gives every LP its own RNG stream. Both
+// modes settle the fabric to idle before posting and again before reading
+// counters, so the digest is insensitive to where exactly each mode's
+// drive loop stops stepping.
+func seqParWorkload(t *testing.T, seed int64, workers int) (simDigest, uint64) {
+	t.Helper()
+	core.ResetMcstIDs()
+	c := NewFatTree(8, Options{Seed: seed, Workers: workers})
+	defer c.Close()
+	members := make([]int, 16)
+	for i := range members {
+		members[i] = i * 8
+	}
+	b, err := c.Broadcaster(SchemeCepheus, members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settle := func(d sim.Time) {
+		if c.Par != nil {
+			c.Par.RunUntil(c.Par.Now() + d)
+		} else {
+			c.Eng.RunUntil(c.Eng.Now() + d)
+		}
+	}
+	settle(10 * sim.Millisecond) // drain registration residue
+	jct, err := c.RunBcastErr(b, 0, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settle(1 * sim.Millisecond) // let trailing ACK/feedback traffic land
+	d := simDigest{jct: jct, metrics: c.Metrics().String()}
+	for _, r := range c.RNICs {
+		d.retrans += r.Stats.Retransmits
+	}
+	return d, c.EventsRun()
+}
+
+// TestSeqParDigestEquivalence is the acceptance gate for the partitioned
+// executor: on the same seed, Workers=1 and Workers∈{2,4,8} must produce
+// identical simulated outcomes (JCT, metrics, retransmissions), and the
+// parallel runs must additionally match each other in executed event count.
+// Event counts are not compared between sequential and parallel modes: the
+// drive loops stop at different points (a Step loop halts mid-window,
+// window barriers do not), so the modes run different amounts of
+// *post-completion* traffic while agreeing on every result.
+func TestSeqParDigestEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		ref, _ := seqParWorkload(t, seed, 1)
+		var parEvents uint64
+		for _, w := range []int{2, 4, 8} {
+			d, ev := seqParWorkload(t, seed, w)
+			if d != ref {
+				t.Errorf("seed %d workers %d: digest diverged from sequential:\n  seq: %+v\n  par: %+v", seed, w, ref, d)
+			}
+			if parEvents == 0 {
+				parEvents = ev
+			} else if ev != parEvents {
+				t.Errorf("seed %d workers %d: event count %d differs from other parallel runs (%d)", seed, w, ev, parEvents)
+			}
+		}
+	}
+}
+
 // TestGoldenDigests pins the simulated outcomes to values captured before the
 // allocation-free scheduler rewrite. JCT, drop counters, and retransmission
 // counts must reproduce exactly; EventsRun is not pinned across refactors

@@ -301,3 +301,43 @@ func (c *Cepheus) Bcast(root, size int, done func()) {
 	}
 	members[idx].QP.PostSend(size, nil)
 }
+
+// BcastRecord starts a broadcast like Bcast but records completions instead
+// of counting them: member i's delivery time is written into times[i] (and
+// the source's slot gets the post time). Non-source slots are reset to -1
+// first, so "done" is times[i] >= 0 for all i.
+//
+// This is the parallel-mode entry point: under a partitioned run each
+// member's OnMessage fires on that member's own logical process, so a shared
+// decrement counter (Bcast's done accounting) would race across workers.
+// Here every slot of times is written only by its owning member's LP, and
+// the coordinator reads the slice between windows — where the barrier
+// provides the happens-before edge — making completion detection race-free
+// without any atomics.
+func (c *Cepheus) BcastRecord(root, size int, times []sim.Time) {
+	idx := root
+	if c.SrcIndex != nil {
+		idx = c.SrcIndex(root)
+	}
+	if idx != c.lastSrc {
+		c.Group.SwitchSource(c.lastSrc, idx)
+		c.lastSrc = idx
+	}
+	members := c.Group.Members
+	if len(times) != len(members) {
+		panic("amcast: BcastRecord times length must equal the member count")
+	}
+	for i := range times {
+		times[i] = -1
+	}
+	for i, m := range members {
+		if i == idx {
+			continue
+		}
+		i := i
+		eng := m.RNIC.Engine()
+		m.QP.OnMessage = func(msg roce.Message) { times[i] = eng.Now() }
+	}
+	times[idx] = members[idx].RNIC.Engine().Now()
+	members[idx].QP.PostSend(size, nil)
+}

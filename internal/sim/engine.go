@@ -93,6 +93,11 @@ type eslot struct {
 
 // Engine is a single-threaded discrete-event scheduler with a seeded RNG.
 // The zero value is not usable; construct with New.
+//
+// An engine can also be one logical process (LP) of a Parallel run (see
+// parallel.go): it then carries its partition index and per-destination
+// outboxes for cross-LP messages, but its heap, clock, and RNG remain
+// strictly single-threaded — only the owning worker touches them.
 type Engine struct {
 	now     Time
 	seq     uint64
@@ -102,6 +107,11 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	nRun    uint64
+
+	// Parallel-execution identity: nil/0 for a standalone engine.
+	par *Parallel
+	lp  int32
+	out []outbox // per-destination-LP mailboxes, indexed by LP id
 }
 
 // New returns an engine whose RNG is seeded with seed. Two engines built with
@@ -122,6 +132,19 @@ func (e *Engine) EventsRun() uint64 { return e.nRun }
 // Pending reports how many events are currently scheduled. Stopped timers do
 // not linger here: cancelling removes the heap entry immediately.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// LP returns this engine's logical-process index within a Parallel run
+// (0 for a standalone engine).
+func (e *Engine) LP() int { return int(e.lp) }
+
+// NextEventTime returns the timestamp of the earliest pending event, and
+// whether one exists.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
 
 // ---- 4-ary heap of pointer-free key records ----
 //
@@ -388,3 +411,36 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Resume clears a Stop so the engine can run again.
 func (e *Engine) Resume() { e.stopped = false }
+
+// ScheduleRemote schedules h.OnEvent(dst, arg) at absolute time at on dst,
+// which may be a different logical process of the same Parallel run. Calls
+// targeting the local engine degrade to ScheduleHandler; cross-LP messages
+// are appended to a single-producer outbox and merged into dst's heap at the
+// next window barrier in a fixed (time, source LP, send order) total order,
+// so results are independent of how many workers drive the run.
+//
+// Conservative synchronization requires at to lie at or beyond the end of
+// the current window; the network layer guarantees this by construction,
+// since every cross-LP link's propagation delay is at least the lookahead.
+func (e *Engine) ScheduleRemote(dst *Engine, at Time, h Handler, arg any) {
+	if dst == e {
+		e.ScheduleHandler(at, h, arg)
+		return
+	}
+	if e.par == nil || dst.par != e.par {
+		panic("sim: ScheduleRemote across engines that do not share a Parallel run")
+	}
+	if e.out == nil {
+		panic("sim: ScheduleRemote before Parallel.Finalize")
+	}
+	e.out[dst.lp] = append(e.out[dst.lp], crossMsg{at: at, h: h, arg: arg})
+}
+
+// runWindow executes every pending event with timestamp strictly before end,
+// leaving the clock at the last executed event. It is the per-LP body of one
+// lookahead window of a Parallel run.
+func (e *Engine) runWindow(end Time) {
+	for len(e.events) > 0 && !e.stopped && e.events[0].at < end {
+		e.Step()
+	}
+}

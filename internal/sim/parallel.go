@@ -1,0 +1,360 @@
+// Conservative parallel discrete-event execution.
+//
+// A Parallel run partitions the simulated world into logical processes
+// (LPs), each an ordinary single-threaded Engine with its own 4-ary heap,
+// clock, and RNG stream. Execution proceeds in time windows bounded by the
+// lookahead — the minimum latency of any cross-LP interaction (in the
+// network model, the smallest propagation delay of a link whose endpoints
+// live in different LPs). Within one window every LP can run independently:
+// conservative synchronization guarantees that no event executed in the
+// window can cause another LP to receive anything earlier than the window's
+// end, so no LP ever has to roll back.
+//
+// Cross-LP messages travel through per-(source, destination) outboxes that
+// only the source LP's worker appends to during a window; at the barrier
+// between windows a single coordinator merges each destination's incoming
+// messages into its heap in a fixed (timestamp, source LP, send order)
+// total order. Because the partition, the per-LP RNG streams, and the merge
+// order are all functions of the topology and seed alone — never of the
+// worker count or wall-clock interleaving — a run produces byte-identical
+// results whether it is driven by one worker, eight, or RunSerial on the
+// coordinator itself. See DESIGN.md §9.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// crossMsg is one cross-LP event hand-off: the scheduled handler and its
+// absolute timestamp, buffered until the next window barrier.
+type crossMsg struct {
+	at  Time
+	h   Handler
+	arg any
+}
+
+// outbox is the single-producer buffer of messages from one source LP to one
+// destination LP. The source's worker appends during a window; the
+// coordinator drains at the barrier. The window barrier itself provides the
+// happens-before edge, so no per-message synchronization is needed.
+type outbox []crossMsg
+
+// Outcome reports why a Parallel run returned.
+type Outcome int
+
+const (
+	// Done: the caller's predicate became true at a window barrier.
+	Done Outcome = iota
+	// Quiescent: no events remain in any LP heap or outbox.
+	Quiescent
+	// Horizon: the next event lies beyond the caller's time limit.
+	Horizon
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Done:
+		return "done"
+	case Quiescent:
+		return "quiescent"
+	case Horizon:
+		return "horizon"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// drainKey orders one incoming message during a barrier merge.
+type drainKey struct {
+	at  Time
+	src int32
+	idx int32
+}
+
+func (a *drainKey) less(b *drainKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.idx < b.idx
+}
+
+// Parallel coordinates a set of LP engines through lookahead-bounded
+// windows. Construct with NewParallel, create engines with AddLP, then call
+// Finalize once before the first event is scheduled across LPs.
+type Parallel struct {
+	seed      int64
+	workers   int
+	lookahead Time
+	lps       []*Engine
+	floor     Time // start of the most recently executed window
+	finalized bool
+
+	// Barrier scratch, reused across windows to keep the coordinator
+	// allocation-free in steady state.
+	keys []drainKey
+	msgs []crossMsg
+
+	// Persistent worker pool, started lazily on the first Run.
+	started bool
+	startCh []chan Time
+	doneCh  chan struct{}
+}
+
+// NewParallel creates an empty run. workers is the number of goroutines
+// that execute windows (clamped to [1, NumLPs] at run time); it has no
+// effect on simulated results, only on wall-clock speed.
+func NewParallel(seed int64, workers int) *Parallel {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Parallel{seed: seed, workers: workers}
+}
+
+// lpSeedStride spaces per-LP RNG seeds (the 64-bit golden ratio, reinterpreted
+// as a signed constant so seed arithmetic wraps instead of overflowing).
+const lpSeedStride = int64(-7046029254386353131)
+
+// AddLP creates the next logical process. LP 0's RNG stream is seeded
+// exactly like New(seed), so a single-LP parallel run consumes randomness
+// identically to a standalone sequential engine; further LPs derive
+// statistically independent streams from the same seed. The partition must
+// be a pure function of the topology — never of the worker count — or
+// determinism across worker counts is lost.
+func (p *Parallel) AddLP() *Engine {
+	if p.finalized {
+		panic("sim: AddLP after Finalize")
+	}
+	lp := int32(len(p.lps))
+	e := New(p.seed + int64(lp)*lpSeedStride)
+	e.par = p
+	e.lp = lp
+	p.lps = append(p.lps, e)
+	return e
+}
+
+// Finalize fixes the LP set and the lookahead, sizing every engine's
+// outboxes. lookahead is the conservative window length: the minimum
+// virtual-time distance of any cross-LP interaction. A lookahead <= 0 means
+// no cross-LP links exist and windows are unbounded.
+func (p *Parallel) Finalize(lookahead Time) {
+	if p.finalized {
+		panic("sim: Finalize called twice")
+	}
+	p.finalized = true
+	p.lookahead = lookahead
+	for _, e := range p.lps {
+		e.out = make([]outbox, len(p.lps))
+	}
+}
+
+// NumLPs returns the partition size.
+func (p *Parallel) NumLPs() int { return len(p.lps) }
+
+// LP returns the i-th logical process engine.
+func (p *Parallel) LP(i int) *Engine { return p.lps[i] }
+
+// Lookahead returns the window bound fixed by Finalize.
+func (p *Parallel) Lookahead() Time { return p.lookahead }
+
+// Workers returns the configured worker count.
+func (p *Parallel) Workers() int { return p.workers }
+
+// Now returns the virtual-time floor: the start of the most recent window.
+// Every LP's local clock is at or beyond it.
+func (p *Parallel) Now() Time { return p.floor }
+
+// EventsRun sums executed events across LPs.
+func (p *Parallel) EventsRun() uint64 {
+	var n uint64
+	for _, e := range p.lps {
+		n += e.nRun
+	}
+	return n
+}
+
+// Pending sums scheduled events across LP heaps (outboxes are empty between
+// runs; drains happen before the coordinator returns).
+func (p *Parallel) Pending() int {
+	n := 0
+	for _, e := range p.lps {
+		n += e.Pending()
+	}
+	return n
+}
+
+// drain merges every outbox into its destination heap in (timestamp, source
+// LP, send order) order, assigning destination sequence numbers in that
+// fixed order. It runs only on the coordinator, between windows.
+func (p *Parallel) drain() {
+	for di, dst := range p.lps {
+		p.keys = p.keys[:0]
+		p.msgs = p.msgs[:0]
+		for si, src := range p.lps {
+			box := src.out[di]
+			for mi := range box {
+				p.keys = append(p.keys, drainKey{at: box[mi].at, src: int32(si), idx: int32(mi)})
+				p.msgs = append(p.msgs, box[mi])
+				box[mi] = crossMsg{} // drop handler/arg refs for the GC
+			}
+			src.out[di] = box[:0]
+		}
+		if len(p.keys) == 0 {
+			continue
+		}
+		sort.Sort(&drainSort{keys: p.keys, msgs: p.msgs})
+		for i := range p.msgs {
+			m := &p.msgs[i]
+			dst.ScheduleHandler(m.at, m.h, m.arg)
+			*m = crossMsg{}
+		}
+	}
+}
+
+// drainSort co-sorts keys and msgs by drainKey order.
+type drainSort struct {
+	keys []drainKey
+	msgs []crossMsg
+}
+
+func (s *drainSort) Len() int           { return len(s.keys) }
+func (s *drainSort) Less(i, j int) bool { return s.keys[i].less(&s.keys[j]) }
+func (s *drainSort) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.msgs[i], s.msgs[j] = s.msgs[j], s.msgs[i]
+}
+
+// nextTime returns the earliest pending timestamp across LPs.
+func (p *Parallel) nextTime() (Time, bool) {
+	var m Time
+	ok := false
+	for _, e := range p.lps {
+		if t, has := e.NextEventTime(); has && (!ok || t < m) {
+			m, ok = t, true
+		}
+	}
+	return m, ok
+}
+
+// windowEnd bounds one window starting at m. With no cross-LP links the
+// window is still capped so the caller's predicate and limit are evaluated
+// at a bounded virtual-time stride.
+const unboundedWindow = Time(100 * Microsecond)
+
+func (p *Parallel) windowEnd(m, limit Time) Time {
+	la := p.lookahead
+	if la <= 0 {
+		la = unboundedWindow
+	}
+	end := m + la
+	if end < m { // overflow
+		end = limit + 1
+	}
+	return end
+}
+
+// startWorkers spins up the persistent worker pool: worker w executes LPs
+// w, w+W, w+2W, ... each window. The static assignment is irrelevant to
+// results (LPs share nothing within a window) — it only spreads load.
+func (p *Parallel) startWorkers() {
+	if p.started {
+		return
+	}
+	p.started = true
+	w := p.workers
+	if w > len(p.lps) {
+		w = len(p.lps)
+	}
+	if w < 1 {
+		w = 1
+	}
+	p.workers = w
+	p.startCh = make([]chan Time, w)
+	p.doneCh = make(chan struct{}, w)
+	for i := 0; i < w; i++ {
+		p.startCh[i] = make(chan Time, 1)
+		go func(worker int) {
+			for end := range p.startCh[worker] {
+				for lp := worker; lp < len(p.lps); lp += w {
+					p.lps[lp].runWindow(end)
+				}
+				p.doneCh <- struct{}{}
+			}
+		}(i)
+	}
+}
+
+// Close shuts the worker pool down. Safe to call multiple times; further
+// Run calls restart it.
+func (p *Parallel) Close() {
+	if !p.started {
+		return
+	}
+	p.started = false
+	for _, ch := range p.startCh {
+		close(ch)
+	}
+	p.startCh, p.doneCh = nil, nil
+}
+
+// Run executes windows until pred (evaluated at every barrier, with all
+// workers parked) returns true, the next event lies beyond limit, or the
+// run quiesces. pred may be nil. The coordinator — the calling goroutine —
+// owns all cross-LP merging, so pred may freely read state written by any
+// LP during preceding windows.
+func (p *Parallel) Run(limit Time, pred func() bool) Outcome {
+	return p.run(limit, pred, false)
+}
+
+// RunSerial is Run on a single goroutine: the coordinator executes every
+// LP's window itself in LP order. The schedule — and therefore every
+// simulated result — is byte-identical to Run's; RunSerial exists for
+// driver phases whose callbacks touch cross-LP shared state (e.g. a shared
+// completion counter) and would race under concurrent workers.
+func (p *Parallel) RunSerial(limit Time, pred func() bool) Outcome {
+	return p.run(limit, pred, true)
+}
+
+func (p *Parallel) run(limit Time, pred func() bool, serial bool) Outcome {
+	if !p.finalized {
+		panic("sim: Run before Finalize")
+	}
+	for {
+		p.drain()
+		if pred != nil && pred() {
+			return Done
+		}
+		m, ok := p.nextTime()
+		if !ok {
+			return Quiescent
+		}
+		if m > limit {
+			return Horizon
+		}
+		p.floor = m
+		end := p.windowEnd(m, limit)
+		if serial || len(p.lps) == 1 {
+			for _, e := range p.lps {
+				e.runWindow(end)
+			}
+			continue
+		}
+		p.startWorkers()
+		for _, ch := range p.startCh {
+			ch <- end
+		}
+		for range p.startCh {
+			<-p.doneCh
+		}
+	}
+}
+
+// RunUntil executes windows until every event with timestamp <= t has run
+// (or the run quiesces first). It is the parallel analogue of
+// Engine.RunUntil, used to let in-flight traffic settle before counters are
+// compared across modes.
+func (p *Parallel) RunUntil(t Time) {
+	p.Run(t, nil)
+}

@@ -136,6 +136,11 @@ type Packet struct {
 	// flapped while it was in flight. Internal to Port.
 	txEpoch   uint64
 	peerEpoch uint64
+
+	// inPool marks a packet currently parked in the pool, so a second
+	// Release of the same packet fails loudly instead of corrupting whoever
+	// drew it from the pool in between. Internal to pool.go.
+	inPool bool
 }
 
 // Size returns the on-wire size in bytes.

@@ -26,11 +26,21 @@ var packetPool = sync.Pool{New: func() any { return new(Packet) }}
 
 // NewPacket returns a zeroed packet from the pool. Populate it and hand it to
 // a port or device; the terminal sink releases it.
-func NewPacket() *Packet { return packetPool.Get().(*Packet) }
+func NewPacket() *Packet {
+	p := packetPool.Get().(*Packet)
+	p.inPool = false
+	return p
+}
 
 // Release returns p to the pool. Only the current owner may call it, exactly
-// once, and must not touch p afterwards.
+// once, and must not touch p afterwards. Releasing a packet that is already
+// in the pool panics: by then another owner may have drawn it, and zeroing
+// it out from under them is the worst kind of silent corruption.
 func (p *Packet) Release() {
+	if p.inPool {
+		panic("simnet: double release of pooled packet")
+	}
 	*p = Packet{}
+	p.inPool = true
 	packetPool.Put(p)
 }

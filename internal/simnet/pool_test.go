@@ -1,0 +1,160 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPacket()
+	p.Type = Data
+	p.Payload = 100
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	p.Release()
+}
+
+func TestReleaseAfterReuseIsIndependent(t *testing.T) {
+	// Releasing a packet and drawing a fresh one must hand back a packet in
+	// the not-pooled state, even when the pool recycles the same struct.
+	p := NewPacket()
+	p.Release()
+	q := NewPacket()
+	if q.inPool {
+		t.Fatal("NewPacket returned a packet still marked in-pool")
+	}
+	q.Release() // must not panic: q is a live packet regardless of identity
+}
+
+// sinkDev is a Device that counts and releases everything it receives.
+type sinkDev struct {
+	name string
+	got  int
+}
+
+func (d *sinkDev) DeviceName() string { return d.name }
+func (d *sinkDev) Receive(p *Packet, in *Port) {
+	d.got++
+	p.Release()
+}
+
+// TestReleaseAfterPurge pins the fault path's ownership rule: SetDown(true)
+// purges the egress queue and releases every queued packet exactly once — a
+// sender that (incorrectly) retained its handle and releases again must trip
+// the double-release detector rather than corrupt the pool.
+func TestReleaseAfterPurge(t *testing.T) {
+	eng := sim.New(1)
+	a := &sinkDev{name: "a"}
+	b := &sinkDev{name: "b"}
+	pa := NewPort(eng, a, 1e9, 100)
+	pb := NewPort(eng, b, 1e9, 100)
+	Connect(pa, pb)
+
+	// First frame occupies the wire; the rest sit in the queue.
+	var queued []*Packet
+	for i := 0; i < 4; i++ {
+		p := NewPacket()
+		p.Type = Data
+		p.Payload = 1000
+		if i > 0 {
+			queued = append(queued, p)
+		}
+		pa.Send(p)
+	}
+	pa.SetDown(true)
+	if got := pa.Stats.FaultDrops; got != 3 {
+		t.Fatalf("FaultDrops after purge = %d, want 3", got)
+	}
+	if pa.QueuedBytes() != 0 {
+		t.Fatalf("queue not empty after purge: %d bytes", pa.QueuedBytes())
+	}
+	for _, p := range queued {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("releasing a purged packet did not panic")
+				}
+			}()
+			p.Release()
+		}()
+	}
+}
+
+// TestRingWraparound exercises pktRing's circular index arithmetic at
+// capacity boundaries: fill to the initial capacity, drain past the head so
+// the window wraps, refill through the wrap, and grow mid-wrap — FIFO order
+// must survive all of it.
+func TestRingWraparound(t *testing.T) {
+	mk := func(id uint64) *Packet {
+		p := NewPacket()
+		p.Type = Raw
+		p.MsgID = id
+		return p
+	}
+	var r pktRing
+	next := uint64(0)
+	expect := uint64(0)
+	// Fill to the initial capacity (8).
+	for i := 0; i < 8; i++ {
+		r.pushBack(mk(next))
+		next++
+	}
+	// Drain 5 so head sits mid-buffer, then push 5 to wrap the tail.
+	for i := 0; i < 5; i++ {
+		p := r.popFront()
+		if p.MsgID != expect {
+			t.Fatalf("popFront = %d, want %d", p.MsgID, expect)
+		}
+		expect++
+		p.Release()
+	}
+	for i := 0; i < 5; i++ {
+		r.pushBack(mk(next))
+		next++
+	}
+	if r.len() != 8 {
+		t.Fatalf("len = %d, want 8", r.len())
+	}
+	// Push one more at exact capacity: grow() must relocate the wrapped
+	// window without reordering.
+	r.pushBack(mk(next))
+	next++
+	for r.len() > 0 {
+		p := r.popFront()
+		if p.MsgID != expect {
+			t.Fatalf("after grow: popFront = %d, want %d", p.MsgID, expect)
+		}
+		expect++
+		p.Release()
+	}
+	if expect != next {
+		t.Fatalf("drained %d packets, want %d", expect, next)
+	}
+}
+
+// TestRingPushFrontWrap covers SendUrgent's head-insertion when head is at
+// index 0, which must wrap backwards to the end of the buffer.
+func TestRingPushFrontWrap(t *testing.T) {
+	var r pktRing
+	a := NewPacket()
+	a.MsgID = 1
+	b := NewPacket()
+	b.MsgID = 2
+	r.pushBack(a) // head = 0
+	r.pushFront(b)
+	if p := r.popFront(); p.MsgID != 2 {
+		t.Fatalf("popFront = %d, want 2", p.MsgID)
+	} else {
+		p.Release()
+	}
+	if p := r.popFront(); p.MsgID != 1 {
+		t.Fatalf("popFront = %d, want 1", p.MsgID)
+	} else {
+		p.Release()
+	}
+}

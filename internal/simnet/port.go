@@ -85,6 +85,7 @@ type Port struct {
 	// scheduling boxes nothing (&pt.txDoneH is an interior pointer).
 	txDoneH  txDoneHandler
 	deliverH deliverHandler
+	rxH      rxHandler
 }
 
 // txDoneHandler fires when a frame finishes serializing: the link is free for
@@ -119,6 +120,25 @@ func (h *deliverHandler) OnEvent(_ *sim.Engine, arg any) {
 		return
 	}
 	peer.Dev.Receive(p, peer)
+}
+
+// rxHandler is the receiving side of a cross-LP link: it runs on the
+// RECEIVING port's engine after the frame's serialization plus propagation
+// delay, which is when ownership of the packet transfers between logical
+// processes. Runtime fault injection is restricted to sequential runs (see
+// DESIGN.md §9), so unlike deliverHandler it needs no epoch comparison —
+// only the fail-stop state of its own end, which its own LP owns.
+type rxHandler struct{ pt *Port }
+
+func (h *rxHandler) OnEvent(_ *sim.Engine, arg any) {
+	pt := h.pt
+	p := arg.(*Packet)
+	if pt.down {
+		pt.Stats.FaultDrops++
+		p.Release()
+		return
+	}
+	pt.Dev.Receive(p, pt)
 }
 
 // queue classes (Fig 7a's queue system: physical-queue-level isolation,
@@ -191,8 +211,18 @@ func NewPort(eng *sim.Engine, dev Device, rateBps float64, prop sim.Time) *Port 
 	pt := &Port{Dev: dev, RateBps: rateBps, PropDelay: prop, eng: eng, QueueLimit: 4 << 20}
 	pt.txDoneH.pt = pt
 	pt.deliverH.pt = pt
+	pt.rxH.pt = pt
 	return pt
 }
+
+// Rebind moves the port onto eng. Topology partitioning calls it while
+// assigning devices to logical processes, before any traffic exists; a port
+// with queued or in-flight frames must never be rebound.
+func (pt *Port) Rebind(eng *sim.Engine) { pt.eng = eng }
+
+// Engine returns the engine the port schedules on (its LP's engine under a
+// partitioned run).
+func (pt *Port) Engine() *sim.Engine { return pt.eng }
 
 // Connect wires two ports as a full-duplex link. Both sides must be
 // unconnected.
@@ -352,6 +382,19 @@ func (pt *Port) trySend() {
 	tx := pt.TxTime(size)
 	pt.Stats.TxPackets++
 	pt.Stats.TxBytes += uint64(size)
+	if peer := pt.Peer; peer.eng != pt.eng {
+		// Cross-LP link: serialization completes on this LP, but delivery —
+		// and packet ownership — hands off to the receiving LP through the
+		// window-barrier mailbox. The propagation delay of every cross-LP
+		// link is at least the partition's lookahead, so the arrival always
+		// lands at or beyond the current window's end. The peer's fail-stop
+		// epoch belongs to the peer's LP and cannot be read here; runtime
+		// fault injection is sequential-only (DESIGN.md §9).
+		p.txEpoch, p.peerEpoch = pt.epoch, 0
+		pt.eng.AfterHandler(tx, &pt.txDoneH, p)
+		pt.eng.ScheduleRemote(peer.eng, pt.eng.Now()+tx+pt.PropDelay, &peer.rxH, p)
+		return
+	}
 	p.txEpoch, p.peerEpoch = pt.epoch, pt.Peer.epoch
 	pt.eng.AfterHandler(tx, &pt.txDoneH, p)
 	pt.eng.AfterHandler(tx+pt.PropDelay, &pt.deliverH, p)

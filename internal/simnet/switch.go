@@ -123,6 +123,16 @@ func (sw *Switch) DeviceName() string { return sw.Name }
 // Engine returns the simulation engine driving this switch.
 func (sw *Switch) Engine() *sim.Engine { return sw.eng }
 
+// Rebind moves the switch — and all its ports — onto eng. Topology
+// partitioning calls it while assigning devices to logical processes, before
+// any traffic exists.
+func (sw *Switch) Rebind(eng *sim.Engine) {
+	sw.eng = eng
+	for _, pt := range sw.Ports {
+		pt.Rebind(eng)
+	}
+}
+
 // AddPort creates a new port on the switch and returns it. Switch egress
 // queues are not drop-tail bounded: shared-buffer occupancy is governed by
 // PFC ingress accounting (when enabled), matching a lossless RoCE fabric;

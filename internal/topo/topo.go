@@ -199,6 +199,48 @@ func LeafSpineWith(eng *sim.Engine, leaves, spines, hostsPerLeaf int, rate float
 	return n
 }
 
+// Partition splits the network into one logical process per switch for a
+// conservative parallel run: each switch — and every host hanging off it —
+// becomes one LP of par, so the only cross-LP links are switch↔switch trunks.
+// That makes the partition's lookahead the minimum trunk propagation delay,
+// which Partition computes, hands to par.Finalize, and returns (0 when the
+// topology has a single switch and thus no cross-LP links at all).
+//
+// The assignment is a pure function of the topology — LP i is switch i in
+// build order — never of par's worker count, which is what makes results
+// byte-identical across worker counts (see DESIGN.md §9). Call it on a
+// freshly built network, with a fresh Parallel, before any traffic or timers
+// exist; the network's original engine is disconnected so stray scheduling
+// on it fails loudly instead of silently never running.
+func (n *Network) Partition(par *sim.Parallel) sim.Time {
+	if par.NumLPs() != 0 {
+		panic("topo: Partition requires a fresh Parallel")
+	}
+	lps := make([]*sim.Engine, len(n.Switches))
+	idx := make(map[*simnet.Switch]int, len(n.Switches))
+	for i, sw := range n.Switches {
+		lps[i] = par.AddLP()
+		idx[sw] = i
+		sw.Rebind(lps[i])
+	}
+	for _, h := range n.Hosts {
+		h.Rebind(lps[idx[n.LeafOf(h)]])
+	}
+	var la sim.Time
+	for _, sw := range n.Switches {
+		for _, pt := range sw.Ports {
+			if _, ok := pt.Peer.Dev.(*simnet.Switch); ok {
+				if la == 0 || pt.PropDelay < la {
+					la = pt.PropDelay
+				}
+			}
+		}
+	}
+	par.Finalize(la)
+	n.Eng = nil
+	return la
+}
+
 // linkUp reports whether pt is a usable edge: both ends of the link (and
 // the devices behind them) alive. During the initial topology build nothing
 // is down and every edge qualifies.

@@ -161,6 +161,67 @@ func TestLeafSpineAllPairs(t *testing.T) {
 	}
 }
 
+func TestPartitionAssignment(t *testing.T) {
+	eng := sim.New(1)
+	n := FatTree(eng, 4)
+	par := sim.NewParallel(1, 4)
+	defer par.Close()
+	la := n.Partition(par)
+	if par.NumLPs() != len(n.Switches) {
+		t.Fatalf("LPs = %d, want one per switch (%d)", par.NumLPs(), len(n.Switches))
+	}
+	if la != DefaultPropDelay {
+		t.Fatalf("lookahead = %v, want trunk prop delay %v", la, DefaultPropDelay)
+	}
+	if n.Eng != nil {
+		t.Fatal("Partition left the original engine attached")
+	}
+	// Every switch owns its own LP; every host lives in its leaf's LP.
+	for i, sw := range n.Switches {
+		if sw.Engine() != par.LP(i) {
+			t.Fatalf("switch %s not on LP %d", sw.Name, i)
+		}
+	}
+	for _, h := range n.Hosts {
+		if h.Engine() != n.LeafOf(h).Engine() {
+			t.Fatalf("host %s not co-located with its leaf", h.Name)
+		}
+	}
+}
+
+func TestPartitionTestbedSingleLP(t *testing.T) {
+	eng := sim.New(1)
+	n := Testbed(eng, 4)
+	par := sim.NewParallel(1, 2)
+	defer par.Close()
+	if la := n.Partition(par); la != 0 {
+		t.Fatalf("single-switch lookahead = %v, want 0 (no cross-LP links)", la)
+	}
+	if par.NumLPs() != 1 {
+		t.Fatalf("LPs = %d, want 1", par.NumLPs())
+	}
+}
+
+// TestPartitionDelivery runs a cross-pod packet through the partitioned
+// fabric and checks the arrival time matches the sequential model exactly:
+// cross-LP handoff must add zero virtual latency.
+func TestPartitionDelivery(t *testing.T) {
+	n := FatTree(sim.New(1), 4)
+	par := sim.NewParallel(1, 4)
+	defer par.Close()
+	n.Partition(par)
+	from, to := 0, 4 // different pods: 6 links
+	var at sim.Time = -1
+	dstEng := n.Hosts[to].Engine()
+	n.Hosts[to].Handler = func(p *simnet.Packet) { at = dstEng.Now() }
+	n.Hosts[from].Send(&simnet.Packet{Type: simnet.Data, Src: HostIP(from), Dst: HostIP(to), Payload: 64})
+	par.Run(sim.Second, nil)
+	txPlusProp := n.Hosts[from].NIC.TxTime(64+simnet.WireOverhead) + DefaultPropDelay
+	if want := 6 * txPlusProp; at != want {
+		t.Fatalf("cross-pod latency %v, want %v", at, want)
+	}
+}
+
 func TestLeafSpineBadDimensionsPanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {
