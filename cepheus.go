@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/amcast"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/roce"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -57,6 +58,16 @@ type Options struct {
 	// AMcast overlay baselines, whose completion accounting is inherently
 	// cross-member.
 	Workers int
+
+	// Partition forces the partitioned coordinator even when Workers <= 1:
+	// the topology is split into LPs and executed serially on one goroutine
+	// under the same windowed merge rule as any Workers >= 2 run. Same-time
+	// cross-LP deliveries are then serialized by the coordinator's canonical
+	// (time, source LP, send order) rule instead of the single engine's
+	// scheduling order, so a Partition run's flight-recorder trace is
+	// byte-identical to a multi-worker run's — the property
+	// TestTraceSeqParEquivalence pins down. Implied by Workers >= 2.
+	Partition bool
 }
 
 func (o *Options) fill() {
@@ -90,6 +101,12 @@ type Cluster struct {
 	RNICs  []*roce.RNIC
 	Agents []*core.Agent
 	Accels []*core.Accel
+
+	// Fab holds the cluster's sharded fabric counters (always wired; the
+	// per-LP shards make Metrics a sum over NumLPs cells instead of a walk
+	// over every device). Rec is the flight recorder, nil until EnableTrace.
+	Fab *obs.Fabric
+	Rec *obs.Recorder
 }
 
 // NewTestbed builds the paper's §IV configuration: n servers under one
@@ -118,11 +135,11 @@ func NewLeafSpine(leaves, spines, hostsPerLeaf int, opts Options) *Cluster {
 
 func wire(eng *sim.Engine, net *topo.Network, opts Options) *Cluster {
 	c := &Cluster{Eng: eng, Net: net}
-	if opts.Workers >= 2 {
+	if opts.Workers >= 2 || opts.Partition {
 		// Partition before attaching RNICs and accelerators, so every layer
 		// built on top picks up its device's LP engine rather than the
 		// build-time scratch engine (which Partition disconnects).
-		c.Par = sim.NewParallel(opts.Seed, opts.Workers)
+		c.Par = sim.NewParallel(opts.Seed, max(opts.Workers, 1))
 		net.Partition(c.Par)
 		c.Eng = nil
 	}
@@ -133,6 +150,19 @@ func wire(eng *sim.Engine, net *topo.Network, opts Options) *Cluster {
 	}
 	for _, sw := range net.Switches {
 		c.Accels = append(c.Accels, core.Attach(sw, *opts.Accel))
+	}
+	// Fabric counters are always on: each device increments its own LP's
+	// shard (wired after Partition so LP assignments are final).
+	nlp := 1
+	if c.Par != nil {
+		nlp = c.Par.NumLPs()
+	}
+	c.Fab = obs.NewFabric(nlp)
+	for _, sw := range net.Switches {
+		sw.SetFabric(c.Fab.LP(sw.Engine().LP()))
+	}
+	for _, h := range net.Hosts {
+		h.NIC.SetFabric(c.Fab.LP(h.Engine().LP()))
 	}
 	return c
 }

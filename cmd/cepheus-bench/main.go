@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/hpl"
+	"repro/internal/obs"
 	"repro/internal/ps"
 	"repro/internal/roce"
 	"repro/internal/sim"
@@ -41,6 +42,9 @@ var (
 	benchName  = flag.String("name", "", "also write results to BENCH_<name>.json, the machine-tracked perf trajectory")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	traceOut   = flag.String("trace", "", "record a flight-recorder trace and write it (JSONL) here; with several broadcasts the last one wins, so combine with -only")
+	traceCap   = flag.Int("tracecap", 0, "flight-recorder capacity in events (0: default)")
+	failOver   = flag.Float64("failover", 0, "traceov: exit nonzero if tracing costs more than this fraction of events/s (e.g. 0.10)")
 )
 
 // benchRecord is one broadcast's machine-readable result, written by -json so
@@ -52,6 +56,14 @@ type benchRecord struct {
 	EventsRun    uint64  `json:"events_run"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	Allocs       uint64  `json:"allocs"`
+
+	// Delivery-latency quantiles (requester emission to in-order responder
+	// acceptance) and the deepest egress queue, from the always-on
+	// histograms.
+	P50LatencyNs  int64 `json:"p50_latency_ns"`
+	P99LatencyNs  int64 `json:"p99_latency_ns"`
+	P999LatencyNs int64 `json:"p999_latency_ns"`
+	MaxQueueBytes int64 `json:"max_queue_bytes"`
 }
 
 var (
@@ -60,10 +72,14 @@ var (
 )
 
 func main() {
-	only := flag.String("only", "", "run one experiment: fig1d|fig7b|fig8|fig9|rdmc|table1|fig10|fig11|hpl-large|fig12|fig13|fig14|safeguard|reduce|pstrain|pdes")
+	only := flag.String("only", "", "comma-separated experiments to run: fig1d|fig7b|fig8|fig9|rdmc|table1|fig10|fig11|hpl-large|fig12|fig13|fig14|safeguard|reduce|pstrain|pdes|traceov")
 	flag.Parse()
 	os.Exit(run(*only))
 }
+
+// exitCode lets experiments (traceov's overhead gate) fail the process after
+// profiles and JSON are still written.
+var exitCode int
 
 // run holds main's body so deferred profile writers fire before os.Exit.
 func run(only string) int {
@@ -106,18 +122,30 @@ func run(only string) int {
 		{"hpl-large", hplLarge}, {"fig12", fig12}, {"fig13", fig13},
 		{"fig14", fig14}, {"safeguard", safeguard},
 		{"reduce", reduceExt}, {"pstrain", psTrain}, {"pdes", pdes},
+		{"traceov", traceov},
 	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(only, ",") {
+		if n = strings.ToLower(strings.TrimSpace(n)); n != "" {
+			want[n] = true
+		}
+	}
+	selective := len(want) > 0
 	ran := false
 	for _, e := range all {
-		if only != "" && !strings.EqualFold(only, e.name) {
+		if selective && !want[e.name] {
 			continue
+		}
+		if e.name == "traceov" && !selective {
+			continue // overhead gate only runs when asked for
 		}
 		curExp = e.name
 		e.run()
 		fmt.Println()
 		ran = true
+		delete(want, e.name)
 	}
-	if !ran {
+	if !ran || len(want) > 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", only)
 		return 2
 	}
@@ -138,12 +166,15 @@ func run(only string) int {
 			return 1
 		}
 	}
-	return 0
+	return exitCode
 }
 
 // runBcast drives one broadcast, records its result for -json, and converts a
 // stalled run into a clean CLI failure instead of a panic.
 func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label string) float64 {
+	if *traceOut != "" {
+		c.EnableTrace(*traceCap)
+	}
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	ev0 := c.EventsRun()
@@ -160,10 +191,19 @@ func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label st
 	if s := wall.Seconds(); s > 0 {
 		eps = float64(ev) / s
 	}
+	lat, qd := c.DeliveryLatency(), c.QueueDepth()
 	records = append(records, benchRecord{
 		Experiment: curExp, Case: label, JCTNs: int64(jct),
 		EventsRun: ev, EventsPerSec: eps, Allocs: m1.Mallocs - m0.Mallocs,
+		P50LatencyNs: lat.P50, P99LatencyNs: lat.P99, P999LatencyNs: lat.P999,
+		MaxQueueBytes: qd.Max,
 	})
+	if *traceOut != "" {
+		if err := c.WriteTraceFile(*traceOut, true); err != nil {
+			fmt.Fprintf(os.Stderr, "%s/%s: trace export: %v\n", curExp, label, err)
+			os.Exit(1)
+		}
+	}
 	return float64(jct)
 }
 
@@ -375,6 +415,9 @@ func fig14() {
 	tr.DCQCN = true
 	tr.MTU = 4096
 	c := cepheus.NewFatTree(4, cepheus.Options{Transport: &tr})
+	if *traceOut != "" {
+		c.EnableTrace(*traceCap)
+	}
 	members := make([]int, 16)
 	for i := range members {
 		members[i] = i
@@ -425,6 +468,12 @@ func fig14() {
 	stop1, stop3 = true, true
 	_ = stop1
 	fmt.Print(t)
+	if *traceOut != "" {
+		if err := c.WriteTraceFile(*traceOut, true); err != nil {
+			fmt.Fprintf(os.Stderr, "fig14: trace export: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func reduceExt() {
@@ -538,6 +587,73 @@ func pdes() {
 			fmt.Sprintf("%.2fx", rec.EventsPerSec/base))
 	}
 	fmt.Print(t)
+}
+
+// traceov measures the flight recorder's events/s cost on the pdes workload
+// (1MB Cepheus multicast to 65 members, k=8 fat-tree, DCQCN, sequential
+// engine): best of 3 iterations with tracing off, then on. -failover turns
+// the measurement into a gate: overhead above the fraction fails the run.
+func traceov() {
+	var lost uint64
+	once := func(traced bool) float64 {
+		core.ResetMcstIDs()
+		tr := roce.DefaultConfig()
+		tr.DCQCN = true
+		c := cepheus.NewFatTree(8, cepheus.Options{Transport: &tr})
+		defer c.Close()
+		var rec *obs.Recorder
+		if traced {
+			rec = c.EnableTrace(1 << 20)
+		}
+		nodes := make([]int, 65)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		b, err := c.Broadcaster(cepheus.SchemeCepheus, nodes, 65)
+		if err != nil {
+			panic(err)
+		}
+		// Collect the previous iteration's 128MB of recorder rings now, so
+		// GC pauses don't land inside the timed region of either side.
+		runtime.GC()
+		ev0 := c.EventsRun()
+		t0 := time.Now()
+		if _, err := c.RunBcastErr(b, 0, 1<<20); err != nil {
+			fmt.Fprintf(os.Stderr, "traceov: %v\n", err)
+			os.Exit(1)
+		}
+		wall := time.Since(t0)
+		if rec != nil {
+			lost = rec.Lost()
+		}
+		return float64(c.EventsRun()-ev0) / wall.Seconds()
+	}
+	// Interleave off/on iterations so slow machine drift hits both sides
+	// equally; best-of damps the remaining noise.
+	var off, on float64
+	for i := 0; i < 9; i++ {
+		if e := once(false); e > off {
+			off = e
+		}
+		if e := once(true); e > on {
+			on = e
+		}
+	}
+	overhead := 1 - on/off
+	t := exp.NewTable("Trace overhead: pdes workload, flight recorder off vs on (best of 9, interleaved)",
+		"tracing", "events/s(M)", "overhead")
+	t.Add("off", fmt.Sprintf("%.2f", off/1e6), "-")
+	t.Add("on", fmt.Sprintf("%.2f", on/1e6), fmt.Sprintf("%.1f%%", 100*overhead))
+	fmt.Print(t)
+	fmt.Printf("events lost by recorder: %d\n", lost)
+	records = append(records,
+		benchRecord{Experiment: "traceov", Case: "off", EventsPerSec: off},
+		benchRecord{Experiment: "traceov", Case: "on", EventsPerSec: on})
+	if *failOver > 0 && overhead > *failOver {
+		fmt.Fprintf(os.Stderr, "traceov: tracing overhead %.1f%% exceeds the %.0f%% budget\n",
+			100*overhead, 100**failOver)
+		exitCode = 1
+	}
 }
 
 func safeguard() {

@@ -1,0 +1,222 @@
+// cepheus-trace inspects flight-recorder traces exported by cepheus-bench
+// -trace or faultsim -trace (JSONL, one event per line).
+//
+// Usage:
+//
+//	cepheus-trace trace.jsonl                     # pcap-like listing
+//	cepheus-trace -summary trace.jsonl            # per-device/kind census
+//	cepheus-trace -kind DROP -reason qlimit t.jsonl
+//	cepheus-trace -dev core-0 -from 2ms -to 5ms t.jsonl
+//	cepheus-trace -group 1 t.jsonl                # events of multicast group 1
+//	cepheus-trace -diff other.jsonl trace.jsonl   # census deltas between runs
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	summary = flag.Bool("summary", false, "print a per-device/kind census instead of the listing")
+	kind    = flag.String("kind", "", "keep only this event kind (ENQ, DEQ, DROP, ...)")
+	reason  = flag.String("reason", "", "keep only this drop/fault reason (qlimit, loss, crash, ...)")
+	dev     = flag.String("dev", "", "keep only this device (switch or host name)")
+	dst     = flag.String("dst", "", "keep only this destination address (dotted quad)")
+	group   = flag.Int("group", -1, "keep only this multicast group id (dst 224.0.0.<id>)")
+	from    = flag.Duration("from", 0, "keep events at or after this virtual time")
+	to      = flag.Duration("to", 0, "keep events at or before this virtual time (0: no bound)")
+	diff    = flag.String("diff", "", "compare against this second trace: print census deltas")
+)
+
+// line mirrors the obs JSONL export schema.
+type line struct {
+	T      int64  `json:"t"`
+	Dev    string `json:"dev"`
+	Port   int    `json:"port"`
+	Kind   string `json:"kind"`
+	Reason string `json:"reason"`
+	PT     string `json:"pt"`
+	Src    string `json:"src"`
+	Dst    string `json:"dst"`
+	PSN    uint64 `json:"psn"`
+	A      int64  `json:"a"`
+	B      int64  `json:"b"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cepheus-trace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func load(path string) []line {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	var out []line
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			fatalf("%s:%d: %v", path, n, err)
+		}
+		out = append(out, l)
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return out
+}
+
+func (l *line) keep() bool {
+	if *kind != "" && l.Kind != *kind {
+		return false
+	}
+	if *reason != "" && l.Reason != *reason {
+		return false
+	}
+	if *dev != "" && l.Dev != *dev {
+		return false
+	}
+	if *dst != "" && l.Dst != *dst {
+		return false
+	}
+	if *group >= 0 && l.Dst != obs.AddrString(0xE0000000+uint32(*group)) {
+		return false
+	}
+	if *from > 0 && l.T < int64(*from) {
+		return false
+	}
+	if *to > 0 && l.T > int64(*to) {
+		return false
+	}
+	return true
+}
+
+func filter(ls []line) []line {
+	out := ls[:0]
+	for i := range ls {
+		if ls[i].keep() {
+			out = append(out, ls[i])
+		}
+	}
+	return out
+}
+
+// census keys events by device/kind (plus the reason for drops, where the
+// reason is the interesting part).
+func census(ls []line) map[string]int {
+	m := make(map[string]int)
+	for i := range ls {
+		k := ls[i].Dev + " " + ls[i].Kind
+		if ls[i].Reason != "" {
+			k += "[" + ls[i].Reason + "]"
+		}
+		m[k]++
+	}
+	return m
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func printCensus(ls []line) {
+	m := census(ls)
+	for _, k := range sortedKeys(m) {
+		fmt.Printf("%8d  %s\n", m[k], k)
+	}
+	var lo, hi int64
+	if len(ls) > 0 {
+		lo, hi = ls[0].T, ls[0].T
+		for i := range ls {
+			if ls[i].T < lo {
+				lo = ls[i].T
+			}
+			if ls[i].T > hi {
+				hi = ls[i].T
+			}
+		}
+	}
+	fmt.Printf("%8d  total over %v..%v\n", len(ls), time.Duration(lo), time.Duration(hi))
+}
+
+func printDiff(a, b []line, pathA, pathB string) {
+	ca, cb := census(a), census(b)
+	keys := make(map[string]bool)
+	for k := range ca {
+		keys[k] = true
+	}
+	for k := range cb {
+		keys[k] = true
+	}
+	changed := 0
+	ks := make([]string, 0, len(keys))
+	for k := range keys {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		if ca[k] == cb[k] {
+			continue
+		}
+		changed++
+		fmt.Printf("%8d -> %-8d %+-8d %s\n", ca[k], cb[k], cb[k]-ca[k], k)
+	}
+	if changed == 0 {
+		fmt.Printf("no census differences (%d events in %s, %d in %s)\n", len(a), pathA, len(b), pathB)
+	}
+}
+
+func printListing(ls []line) {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := range ls {
+		l := &ls[i]
+		fmt.Fprintf(w, "%-14v %-12s %-11s", time.Duration(l.T), l.Dev, l.Kind)
+		if l.Reason != "" {
+			fmt.Fprintf(w, " [%s]", l.Reason)
+		}
+		if l.Port >= 0 {
+			fmt.Fprintf(w, " port=%d", l.Port)
+		}
+		fmt.Fprintf(w, " %s %s > %s psn=%d a=%d b=%d\n", l.PT, l.Src, l.Dst, l.PSN, l.A, l.B)
+	}
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cepheus-trace [flags] trace.jsonl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	ls := filter(load(flag.Arg(0)))
+	switch {
+	case *diff != "":
+		printDiff(ls, filter(load(*diff)), flag.Arg(0), *diff)
+	case *summary:
+		printCensus(ls)
+	default:
+		printListing(ls)
+	}
+}

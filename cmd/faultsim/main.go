@@ -29,6 +29,8 @@ var (
 	bcasts   = flag.Int("bcasts", 4, "broadcasts to complete")
 	events   = flag.Int("events", 6, "chaos: fault episodes to inject")
 	horizon  = flag.Duration("horizon", 0, "chaos: injection window (0: auto)")
+	trace    = flag.String("trace", "", "write a flight-recorder trace (JSONL) to this file")
+	tracecap = flag.Int("tracecap", 0, "flight-recorder capacity in events (0: default)")
 )
 
 func main() {
@@ -91,6 +93,9 @@ func main() {
 func run(c *cepheus.Cluster, inject func(*cepheus.Cluster, *fault.Injector) sim.Time) {
 	fmt.Printf("scenario=%s seed=%d size=%dB bcasts=%d hosts=%d switches=%d\n",
 		*scenario, *seed, *size, *bcasts, c.Hosts(), len(c.Net.Switches))
+	if *trace != "" {
+		c.EnableTrace(*tracecap)
+	}
 
 	members := make([]int, c.Hosts())
 	for i := range members {
@@ -135,4 +140,13 @@ func run(c *cepheus.Cluster, inject func(*cepheus.Cluster, *fault.Injector) sim.
 	fmt.Printf("recovery: %+v\n", rg.Stats)
 	fmt.Printf("fabric:   %s\n", c.Metrics())
 	fmt.Printf("faults:   %+v\n", in.Stats)
+	fmt.Printf("delivery latency (ns): %s\n", c.DeliveryLatency())
+	fmt.Printf("queue depth (bytes):   %s\n", c.QueueDepth())
+	if *trace != "" {
+		if err := c.WriteTraceFile(*trace, true); err != nil {
+			fmt.Fprintf(os.Stderr, "trace export failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:    %s (%d events, %d lost)\n", *trace, len(c.Rec.Events()), c.Rec.Lost())
+	}
 }

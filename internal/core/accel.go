@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sort"
+
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -109,10 +112,33 @@ func Attach(sw *simnet.Switch, cfg AccelConfig) *Accel {
 // the FPGA board would: every MFT, reduction state, and the load counters.
 func (a *Accel) onSwitchRestart() {
 	a.Stats.MFTWipes += uint64(len(a.mfts))
+	a.sw.Fabric().Add(obs.FMFTWipes, uint64(len(a.mfts)))
+	if tr := a.sw.Tracer(); tr.On() && len(a.mfts) > 0 {
+		// One event per wiped group, in sorted group order — map iteration
+		// order must never leak into the trace.
+		groups := make([]simnet.Addr, 0, len(a.mfts))
+		for id := range a.mfts {
+			groups = append(groups, id)
+		}
+		sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+		for _, id := range groups {
+			a.recMFT(obs.KMFTWipe, id, int64(a.mfts[id].Epoch))
+		}
+	}
 	a.mfts = make(map[simnet.Addr]*MFT)
 	a.reduces = nil
 	a.mgLoad = nil
 	a.lastUnknownNack = nil
+}
+
+// recMFT captures one MFT lifecycle event for a group; aVal is the epoch
+// involved. Callers on hot paths guard with a.sw.Tracer().On().
+func (a *Accel) recMFT(k obs.Kind, group simnet.Addr, aVal int64) {
+	tr := a.sw.Tracer()
+	if !tr.On() {
+		return
+	}
+	tr.Record(a.sw.Engine().Now(), k, obs.RNone, -1, uint8(simnet.MRP), 0, uint32(group), 0, aVal, 0)
 }
 
 // MFT returns the switch's table for a group, or nil.
@@ -152,6 +178,11 @@ func (a *Accel) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) boo
 		// the sender discovering the black hole only via safeguard timeout.
 		if p.Type == simnet.Data {
 			a.Stats.UnknownGroupDrops++
+			a.sw.Fabric().Inc(obs.FUnknownGroupDrops)
+			if tr := a.sw.Tracer(); tr.On() {
+				tr.Record(a.sw.Engine().Now(), obs.KDrop, obs.RUnknownGroup, in.ID,
+					uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.PSN, 0, int64(p.Size()))
+			}
 			a.nackUnknownGroup(p)
 		}
 		p.Release()
@@ -204,12 +235,16 @@ func (a *Accel) handleMRP(p *simnet.Packet, in *simnet.Port) {
 			// A retransmitted or reordered chunk from a superseded
 			// registration: discard rather than corrupt the live tree.
 			a.Stats.StaleMRPDropped++
+			a.sw.Fabric().Inc(obs.FStaleMRPDropped)
+			a.recMFT(obs.KMFTStale, pay.McstID, int64(pay.Epoch))
 			return
 		}
 		// A newer generation registers: the old tree is dead state. Replace
 		// it wholesale — merged entries from different epochs could route
 		// through links the controller now knows to be gone.
 		a.Stats.EpochRebuilds++
+		a.sw.Fabric().Inc(obs.FEpochRebuilds)
+		a.recMFT(obs.KMFTRebuild, pay.McstID, int64(pay.Epoch))
 		mft = nil
 		delete(a.mfts, pay.McstID)
 	}
@@ -222,6 +257,7 @@ func (a *Accel) handleMRP(p *simnet.Packet, in *simnet.Port) {
 		mft = NewMFT(pay.McstID, a.sw.NumPorts())
 		mft.Epoch = pay.Epoch
 		a.mfts[pay.McstID] = mft
+		a.recMFT(obs.KMFTInstall, pay.McstID, int64(pay.Epoch))
 	}
 	if a.mgLoad == nil {
 		a.mgLoad = make([]int, a.sw.NumPorts())
@@ -246,13 +282,20 @@ func (a *Accel) handleMRP(p *simnet.Packet, in *simnet.Port) {
 		}
 		downstream[port] = append(downstream[port], n)
 	}
-	for port, nodes := range downstream {
+	// Forward in ascending port order — map iteration order must never leak
+	// into the packet serialization (the flight recorder would see it).
+	ports := make([]int, 0, len(downstream))
+	for port := range downstream {
+		ports = append(ports, port)
+	}
+	sort.Ints(ports)
+	for _, port := range ports {
 		if port == in.ID {
 			continue // never reflect registration back upstream
 		}
 		np := newMRPPacket(p.Src, &MRPPayload{
 			McstID: pay.McstID, Seq: pay.Seq, Total: pay.Total, Epoch: pay.Epoch,
-			CtrlIP: pay.CtrlIP, Nodes: nodes,
+			CtrlIP: pay.CtrlIP, Nodes: downstream[port],
 		})
 		a.sw.Output(np, port, in)
 	}
@@ -317,6 +360,8 @@ func (a *Accel) nackUnknownGroup(p *simnet.Packet) {
 	}
 	a.lastUnknownNack[p.Dst] = now
 	a.Stats.UnknownGroupNacks++
+	a.sw.Fabric().Inc(obs.FUnknownGroupNacks)
+	a.recMFT(obs.KMFTNack, p.Dst, 0)
 	rp := simnet.NewPacket()
 	rp.Type, rp.Src, rp.Dst = simnet.MRPReject, p.Dst, p.Src
 	rp.Payload = 64

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/roce"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -306,4 +307,15 @@ func (g *Group) SwitchSource(oldIdx, newIdx int) {
 	old.SetRqPSN(old.SqPSN())
 	// New source: sqPSN := rqPSN, so receivers' verification still matches.
 	next.SetSqPSN(next.RqPSN())
+}
+
+// DeliveryLatency merges every member QP's delivery-latency histogram into a
+// per-group digest: how long this group's packets took from requester
+// emission to in-order acceptance at each receiver.
+func (g *Group) DeliveryLatency() obs.Summary {
+	var h obs.Histogram
+	for _, m := range g.Members {
+		h.Merge(&m.QP.LatHist)
+	}
+	return h.Summary()
 }

@@ -1,0 +1,198 @@
+// Package obs is the unified observability layer: a flight recorder of typed
+// trace events (allocation-free, per-LP, merged deterministically), sharded
+// fabric counters that replace hand-summed metric walks, and log-bucketed
+// histograms for latency and queue-depth distributions.
+//
+// The package sits below simnet/roce/core in the dependency order (it imports
+// only sim), so every layer of the stack can record into it. Everything is
+// built to cost nothing when disabled: recording is guarded by a nil Tracer
+// check, counters are nil-safe increments, and nothing on any path allocates.
+// See DESIGN.md §10.
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Kind enumerates the trace event taxonomy. The set mirrors the behaviours
+// the paper's evaluation reasons about: queue dynamics (enqueue/dequeue, ECN,
+// drops, PFC), the feedback stream (ACK/NACK/CNP in both directions,
+// retransmissions, deliveries), and the accelerator's MFT lifecycle.
+type Kind uint8
+
+const (
+	// KEnqueue: a frame entered an egress queue. A = queue depth in bytes
+	// after the enqueue, B = frame wire size.
+	KEnqueue Kind = iota
+	// KDequeue: a frame left an egress queue and began serializing.
+	// A = queue depth after the dequeue, B = frame wire size.
+	KDequeue
+	// KECNMark: an egress queue CE-marked a data frame. A = queue depth,
+	// B = frame wire size.
+	KECNMark
+	// KDrop: a frame died. Reason says why; A = queue depth at the drop
+	// (where meaningful), B = frame wire size.
+	KDrop
+	// KPFCPause: PFC paused an egress. A = queue depth at the pause.
+	KPFCPause
+	// KPFCResume: PFC resumed an egress. A = queue depth at the resume.
+	KPFCResume
+	// KAckTx / KAckRx: a transport ACK left / reached an endpoint.
+	KAckTx
+	KAckRx
+	// KNackTx / KNackRx: a transport NACK left / reached an endpoint.
+	// PSN is the expected PSN the NACK names.
+	KNackTx
+	KNackRx
+	// KCNPTx / KCNPRx: a DCQCN congestion notification left / reached an
+	// endpoint.
+	KCNPTx
+	KCNPRx
+	// KRetransmit: the requester re-emitted a data packet. A = message id.
+	KRetransmit
+	// KDeliver: the responder completed an in-order message (the packet
+	// carrying the last flag was accepted). A = the final packet's delivery
+	// latency in ns (from requester emission), B = message payload bytes.
+	// Per-packet latencies are aggregated in the always-on QP histograms;
+	// the trace records the application-visible delivery.
+	KDeliver
+	// KMFTInstall: an accelerator installed a new MFT. Dst = group,
+	// A = epoch.
+	KMFTInstall
+	// KMFTRebuild: a newer-epoch registration replaced an MFT wholesale.
+	// Dst = group, A = new epoch.
+	KMFTRebuild
+	// KMFTWipe: a switch crash wiped an MFT (one event per group).
+	// Dst = group.
+	KMFTWipe
+	// KMFTStale: an older-epoch MRP replay was discarded. Dst = group,
+	// A = stale epoch.
+	KMFTStale
+	// KMFTNack: a switch rejected unknown-group data toward its source.
+	// Dst = group.
+	KMFTNack
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	"ENQ", "DEQ", "ECN", "DROP", "PAUSE", "RESUME",
+	"ACK-TX", "ACK-RX", "NACK-TX", "NACK-RX", "CNP-TX", "CNP-RX",
+	"RETX", "DELIVER",
+	"MFT-INSTALL", "MFT-REBUILD", "MFT-WIPE", "MFT-STALE", "MFT-NACK",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindByName resolves a kind name (as printed by String, case-sensitive).
+func KindByName(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// KindNames lists every kind name, for CLI help text.
+func KindNames() []string { return append([]string(nil), kindNames[:]...) }
+
+// Reason qualifies a KDrop event.
+type Reason uint8
+
+const (
+	RNone Reason = iota
+	// RQueueLimit: drop-tail at a bounded egress queue.
+	RQueueLimit
+	// RLoss: injected random data loss (Fig 13 experiments).
+	RLoss
+	// RCtrlLoss: injected random control loss.
+	RCtrlLoss
+	// RCrash: the frame arrived at or was emitted by a crashed switch.
+	RCrash
+	// RNoRoute: no FIB entry for the destination.
+	RNoRoute
+	// RFault: a dead link killed the frame (queued, enqueued-while-down, or
+	// in flight when the link failed).
+	RFault
+	// RUnknownGroup: multicast data for a group the switch has no MFT for.
+	RUnknownGroup
+
+	numReasons
+)
+
+var reasonNames = [...]string{
+	"", "qlimit", "loss", "ctrl-loss", "crash", "no-route", "fault", "unknown-group",
+}
+
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("Reason(%d)", uint8(r))
+}
+
+// ReasonByName resolves a reason name (as printed by String).
+func ReasonByName(s string) (Reason, bool) {
+	for i, n := range reasonNames {
+		if n == s && i > 0 {
+			return Reason(i), true
+		}
+	}
+	return 0, false
+}
+
+// pktTypeNames mirrors simnet.PacketType's String values (obs cannot import
+// simnet; the wire enum is stable and checked by TestPacketTypeNamesInSync).
+var pktTypeNames = [...]string{
+	"DATA", "ACK", "NACK", "CNP", "MRP", "MRP-CONFIRM", "MRP-REJECT",
+	"PAUSE", "RESUME", "RAW",
+}
+
+// PktTypeName renders a simnet.PacketType value for export.
+func PktTypeName(pt uint8) string {
+	if int(pt) < len(pktTypeNames) {
+		return pktTypeNames[pt]
+	}
+	return fmt.Sprintf("PT(%d)", pt)
+}
+
+// AddrString renders a 32-bit address in dotted-quad form, identically to
+// simnet.Addr.String.
+func AddrString(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Event is one flight-recorder record. It is a fixed-size, pointer-free
+// value: rings of events move nothing the GC cares about, and recording one
+// is a field-wise store.
+//
+// A and B carry kind-specific values (documented per Kind above). Seq is a
+// per-device sequence number: together with Dev it identifies an event
+// uniquely, and the canonical (At, Dev, Seq) order it induces is a pure
+// function of the simulated history — independent of worker count and of
+// sequential-vs-partitioned execution. LP records which logical process
+// captured the event; it is an execution artifact and is deliberately
+// excluded from exports.
+type Event struct {
+	At     sim.Time
+	Seq    uint64
+	PSN    uint64
+	A      int64
+	B      int64
+	Dev    uint32
+	Src    uint32
+	Dst    uint32
+	Port   int16
+	LP     int16
+	Kind   Kind
+	Reason Reason
+	PT     uint8 // simnet.PacketType of the frame involved, if any
+}

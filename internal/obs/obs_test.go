@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 7, 8, 15, 16, 17, 100, 1023, 1024, 1 << 20, 1<<62 - 1, 1 << 62} {
+		i := histIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, i)
+		}
+		hi := histValue(i)
+		if uint64(hi) < v {
+			t.Fatalf("histValue(%d) = %d below value %d it must bound", i, hi, v)
+		}
+		// Relative bucket width is bounded by 1/2^subBits.
+		if v >= 2*histSub {
+			lo := histValue(i-1) + 1
+			if width := uint64(hi) - uint64(lo); width > v>>histSubBits {
+				t.Fatalf("bucket %d for %d too wide: [%d,%d]", i, v, lo, hi)
+			}
+		}
+	}
+	// Indexes are monotone in v.
+	prev := -1
+	for v := uint64(0); v < 1<<16; v += 7 {
+		if i := histIndex(v); i < prev {
+			t.Fatalf("histIndex not monotone at %d", v)
+		} else {
+			prev = i
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		v := int64(rng.ExpFloat64() * 50000) // latency-shaped distribution
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := h.Quantile(q)
+		// Log-bucketed error bound: within one sub-bucket (~12.5%) plus slack
+		// for rank rounding.
+		lo, hi := float64(exact)*0.85, float64(exact)*1.15
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("q%v: got %d, exact %d (allowed [%v,%v])", q, got, exact, lo, hi)
+		}
+	}
+	if h.Max() != vals[len(vals)-1] {
+		t.Errorf("Max = %d, want %d", h.Max(), vals[len(vals)-1])
+	}
+	s := h.Summary()
+	if s.Count != 100000 || s.Min != vals[0] || s.Max != h.Max() {
+		t.Errorf("summary mismatch: %+v", s)
+	}
+}
+
+func TestHistogramMergeEqualsCombined(t *testing.T) {
+	var a, b, all Histogram
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 20))
+		all.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	var m Histogram
+	m.Merge(&a)
+	m.Merge(&b)
+	m.Merge(nil) // no-op
+	if m != all {
+		t.Fatal("merged histogram differs from combined observation")
+	}
+	// Merge order must not matter.
+	var m2 Histogram
+	m2.Merge(&b)
+	m2.Merge(&a)
+	if m2 != m {
+		t.Fatal("merge is order-dependent")
+	}
+}
+
+func TestFabricNilSafeAndTotals(t *testing.T) {
+	var nilLP *FabricLP
+	nilLP.Inc(FDataDrops) // must not panic
+	nilLP.Add(FMFTWipes, 3)
+
+	f := NewFabric(4)
+	f.LP(0).Inc(FDataDrops)
+	f.LP(3).Add(FDataDrops, 2)
+	f.LP(1).Inc(FCrashDrops)
+	if got := f.Total(FDataDrops); got != 3 {
+		t.Fatalf("Total(FDataDrops) = %d, want 3", got)
+	}
+	if got := f.Total(FCrashDrops); got != 1 {
+		t.Fatalf("Total(FCrashDrops) = %d, want 1", got)
+	}
+	if got := f.Total(FMFTWipes); got != 0 {
+		t.Fatalf("Total(FMFTWipes) = %d, want 0", got)
+	}
+}
+
+func TestTracerNilOn(t *testing.T) {
+	var tr *Tracer
+	if tr.On() {
+		t.Fatal("nil tracer must report off")
+	}
+}
+
+func TestRecorderCanonicalOrder(t *testing.T) {
+	r := NewRecorder(2, 1<<12)
+	// Register in a fixed order; record interleaved across LPs.
+	t0 := r.NewTracer("s0", 0)
+	t1 := r.NewTracer("h0", 1)
+	t1.Record(20, KDeliver, RNone, -1, 0, 1, 2, 5, 100, 64)
+	t0.Record(10, KEnqueue, RNone, 0, 0, 1, 2, 5, 64, 64)
+	t0.Record(20, KDequeue, RNone, 0, 0, 1, 2, 5, 0, 64)
+	r.Barrier()
+	t1.Record(5, KDrop, RLoss, -1, 0, 1, 2, 6, 0, 64) // later barrier, earlier time
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	// Canonical order: (At, Dev, Seq).
+	want := []struct {
+		at  sim.Time
+		dev uint32
+		k   Kind
+	}{
+		{5, 1, KDrop}, {10, 0, KEnqueue}, {20, 0, KDequeue}, {20, 1, KDeliver},
+	}
+	for i, w := range want {
+		if evs[i].At != w.at || evs[i].Dev != w.dev || evs[i].Kind != w.k {
+			t.Fatalf("event %d = %+v, want at=%d dev=%d kind=%v", i, evs[i], w.at, w.dev, w.k)
+		}
+	}
+	if r.Lost() != 0 {
+		t.Fatalf("Lost = %d, want 0", r.Lost())
+	}
+}
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	r := NewRecorder(1, 1024) // floor capacities: central 1024, shard 4096
+	tr := r.NewTracer("d", 0)
+	const total = 3000
+	for i := 0; i < total; i++ {
+		tr.Record(sim.Time(i), KEnqueue, RNone, 0, 0, 0, 0, 0, int64(i), 0)
+	}
+	evs := r.Events()
+	if len(evs) != 1024 {
+		t.Fatalf("kept %d events, want 1024", len(evs))
+	}
+	// The recorder keeps the most recent history.
+	if evs[0].A != total-1024 || evs[len(evs)-1].A != total-1 {
+		t.Fatalf("window [%d,%d], want [%d,%d]", evs[0].A, evs[len(evs)-1].A, total-1024, total-1)
+	}
+	if r.Lost() != total-1024 {
+		t.Fatalf("Lost = %d, want %d", r.Lost(), total-1024)
+	}
+}
+
+func TestRecorderEventsUntil(t *testing.T) {
+	r := NewRecorder(1, 1<<12)
+	tr := r.NewTracer("d", 0)
+	for i := 0; i < 10; i++ {
+		tr.Record(sim.Time(i*10), KEnqueue, RNone, 0, 0, 0, 0, 0, 0, 0)
+	}
+	if got := len(r.EventsUntil(45)); got != 5 {
+		t.Fatalf("EventsUntil(45) kept %d, want 5", got)
+	}
+}
+
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRecorder(1, 1<<12)
+	tr := r.NewTracer("d", 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Record(1, KEnqueue, RNone, 0, 0, 1, 2, 3, 4, 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", allocs)
+	}
+	var h Histogram
+	allocs = testing.AllocsPerRun(1000, func() { h.Observe(12345) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	r := NewRecorder(1, 1<<12)
+	tr := r.NewTracer("s3", 0)
+	tr.Record(1500, KDrop, RQueueLimit, 2, 0, 0x0A000001, 0xE0000003, 42, 81920, 1064)
+	evs := r.Events()
+
+	var j bytes.Buffer
+	if err := r.WriteJSONL(&j, evs); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":1500,"dev":"s3","port":2,"kind":"DROP","reason":"qlimit","pt":"DATA","src":"10.0.0.1","dst":"224.0.0.3","psn":42,"a":81920,"b":1064}` + "\n"
+	if j.String() != want {
+		t.Fatalf("JSONL:\n got %q\nwant %q", j.String(), want)
+	}
+
+	var x bytes.Buffer
+	if err := r.WriteText(&x, evs); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"s3:2", "DROP", "[qlimit]", "10.0.0.1", "224.0.0.3", "psn=42"} {
+		if !strings.Contains(x.String(), frag) {
+			t.Fatalf("text export missing %q: %q", frag, x.String())
+		}
+	}
+}
+
+func TestKindReasonNames(t *testing.T) {
+	if len(kindNames) != int(numKinds) {
+		t.Fatalf("kindNames has %d entries, want %d", len(kindNames), numKinds)
+	}
+	if len(reasonNames) != int(numReasons) {
+		t.Fatalf("reasonNames has %d entries, want %d", len(reasonNames), numReasons)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v,%v", k.String(), got, ok)
+		}
+	}
+	for r := RQueueLimit; r < numReasons; r++ {
+		got, ok := ReasonByName(r.String())
+		if !ok || got != r {
+			t.Fatalf("ReasonByName(%q) = %v,%v", r.String(), got, ok)
+		}
+	}
+}
+
+func BenchmarkTracerRecord(b *testing.B) {
+	r := NewRecorder(1, 1<<16)
+	tr := r.NewTracer("d", 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(sim.Time(i), KEnqueue, RNone, 0, 0, 1, 2, uint64(i), 64, 64)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Shard is one logical process's slice of the flight recorder: a fixed-size
+// ring of Events with a single writer (the LP's worker goroutine, or the
+// lone goroutine in sequential mode). When the ring fills, the oldest events
+// are overwritten and counted in lost — a flight recorder keeps the recent
+// past, not everything.
+type Shard struct {
+	ring []Event
+	mask int // len(ring)-1; ring capacity is a power of two so the hot path masks instead of dividing
+	head int
+	n    int
+	lost uint64
+	lp   int16
+}
+
+// slot returns the next ring entry to write, overwriting the oldest when
+// full. Handing out the slot pointer lets Record store each field exactly
+// once instead of building an Event and copying 64 bytes.
+func (s *Shard) slot() *Event {
+	if s.n < len(s.ring) {
+		e := &s.ring[(s.head+s.n)&s.mask]
+		s.n++
+		return e
+	}
+	e := &s.ring[s.head]
+	s.head = (s.head + 1) & s.mask
+	s.lost++
+	return e
+}
+
+// Tracer is a per-device recording handle. Devices hold a *Tracer that is
+// nil while tracing is off; the nil check in On is the entire disabled-path
+// cost. Seq numbers events per device: a device's events are totally ordered
+// by its own execution, which is deterministic, so (At, Dev, Seq) is a
+// canonical order independent of how the simulation was parallelized. Seq is
+// stamped at the Barrier drain, not in Record — a device's events leave its
+// shard in record order, so the numbering is identical and the hot path
+// saves a store.
+type Tracer struct {
+	sh  *Shard
+	dev uint32
+}
+
+// On reports whether this tracer records. Safe on a nil receiver — the
+// idiomatic guard at every record site is:
+//
+//	if tr.On() { tr.Record(...) }
+func (t *Tracer) On() bool { return t != nil }
+
+// Record captures one event. Allocation-free: a field-wise store into the
+// shard ring — each field is written exactly once, with no zeroing of a
+// temporary Event (a by-value signature benchmarks ~70% slower for exactly
+// that reason). port is the device-local port id (-1 when not port-scoped),
+// pt the simnet.PacketType of the frame involved (0/DATA when none). Dev and
+// LP are stamped here, Seq at the next barrier drain.
+func (t *Tracer) Record(at sim.Time, k Kind, reason Reason, port int, pt uint8, src, dst uint32, psn uint64, a, b int64) {
+	e := t.sh.slot()
+	e.At = at
+	e.PSN = psn
+	e.A = a
+	e.B = b
+	e.Dev = t.dev
+	e.Src = src
+	e.Dst = dst
+	e.Port = int16(port)
+	e.LP = t.sh.lp
+	e.Kind = k
+	e.Reason = reason
+	e.PT = pt
+}
+
+// Dev returns the device id this tracer records under.
+func (t *Tracer) Dev() uint32 { return t.dev }
+
+// Recorder owns the flight-recorder storage: one Shard per LP plus a central
+// ring that shards merge into at PDES window barriers (or lazily, in
+// sequential mode). The merge is deterministic: within a barrier the drained
+// events are ordered by (time, lp, ring order), which under conservative
+// PDES is a pure function of the partitioned execution — every worker count
+// over the same partition produces byte-identical central contents.
+type Recorder struct {
+	shards   []*Shard
+	devNames []string
+	devSeq   []uint64 // next Seq per device, advanced at Barrier drains
+
+	central []Event
+	chead   int
+	cn      int
+	clost   uint64
+
+	scratch []Event
+}
+
+// NewRecorder creates a recorder for nLP logical processes with a central
+// ring of the given capacity. Each shard gets capacity/nLP slots (at least
+// 4096) — shards only buffer between barriers, the central ring is the
+// long-term memory.
+func NewRecorder(nLP, capacity int) *Recorder {
+	if nLP < 1 {
+		nLP = 1
+	}
+	if capacity < 1024 {
+		capacity = 1024
+	}
+	shardCap := capacity / nLP
+	if shardCap < 4096 {
+		shardCap = 4096
+	}
+	if shardCap > capacity {
+		shardCap = capacity
+	}
+	// Round up to a power of two: push masks instead of dividing.
+	pow := 1
+	for pow < shardCap {
+		pow <<= 1
+	}
+	shardCap = pow
+	r := &Recorder{
+		shards:  make([]*Shard, nLP),
+		central: make([]Event, capacity),
+	}
+	for i := range r.shards {
+		r.shards[i] = &Shard{ring: make([]Event, shardCap), mask: shardCap - 1, lp: int16(i)}
+	}
+	return r
+}
+
+// NewTracer registers a device on logical process lp and returns its
+// recording handle. Registration order defines device ids, so callers must
+// register in a topology-derived (execution-mode-invariant) order.
+func (r *Recorder) NewTracer(name string, lp int) *Tracer {
+	if lp < 0 || lp >= len(r.shards) {
+		lp = 0
+	}
+	t := &Tracer{sh: r.shards[lp], dev: uint32(len(r.devNames))}
+	r.devNames = append(r.devNames, name)
+	r.devSeq = append(r.devSeq, 0)
+	return t
+}
+
+// DevName returns the registered name for a device id.
+func (r *Recorder) DevName(dev uint32) string {
+	if int(dev) < len(r.devNames) {
+		return r.devNames[dev]
+	}
+	return "?"
+}
+
+func (r *Recorder) pushCentral(e *Event) {
+	if r.cn < len(r.central) {
+		r.central[(r.chead+r.cn)%len(r.central)] = *e
+		r.cn++
+		return
+	}
+	r.central[r.chead] = *e
+	r.chead = (r.chead + 1) % len(r.central)
+	r.clost++
+}
+
+// Barrier drains every shard into the central ring in (time, lp, ring
+// order). Called by the PDES coordinator between windows — all workers are
+// parked, so shard access is race-free — and by Events at the end of a
+// sequential run. The sort is stable, preserving each shard's causal ring
+// order among same-time events.
+func (r *Recorder) Barrier() {
+	r.scratch = r.scratch[:0]
+	for _, s := range r.shards {
+		for s.n > 0 {
+			e := s.ring[s.head]
+			// Stamp the per-device sequence here: shard ring order is the
+			// device's record order, so this numbering matches what the hot
+			// path would have produced, one store cheaper.
+			e.Seq = r.devSeq[e.Dev]
+			r.devSeq[e.Dev]++
+			r.scratch = append(r.scratch, e)
+			s.head = (s.head + 1) & s.mask
+			s.n--
+		}
+	}
+	sort.SliceStable(r.scratch, func(i, j int) bool {
+		a, b := &r.scratch[i], &r.scratch[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.LP < b.LP
+	})
+	for i := range r.scratch {
+		r.pushCentral(&r.scratch[i])
+	}
+}
+
+// Lost returns how many events were overwritten before export (shard
+// overflow between barriers plus central-ring eviction). A flight recorder
+// with Lost() == 0 captured the complete history.
+func (r *Recorder) Lost() uint64 {
+	t := r.clost
+	for _, s := range r.shards {
+		t += s.lost
+	}
+	return t
+}
+
+// Events drains any shard residue and returns a copy of the recorded
+// history in canonical (At, Dev, Seq) order. That order is a pure function
+// of the simulated history — it does not depend on worker count or on
+// sequential-vs-partitioned execution — so exports are directly comparable
+// across runs.
+func (r *Recorder) Events() []Event {
+	return r.EventsUntil(sim.Time(1<<63 - 1))
+}
+
+// EventsUntil is Events restricted to events with At <= cutoff. Partitioned
+// execution may run slightly past a RunUntil horizon (to its window edge);
+// cutting at the horizon yields the event set both execution modes agree on.
+func (r *Recorder) EventsUntil(cutoff sim.Time) []Event {
+	r.Barrier()
+	out := make([]Event, 0, r.cn)
+	for i := 0; i < r.cn; i++ {
+		e := &r.central[(r.chead+i)%len(r.central)]
+		if e.At <= cutoff {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Dev != b.Dev {
+			return a.Dev < b.Dev
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}

@@ -3,6 +3,7 @@ package roce
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -57,6 +58,12 @@ type QP struct {
 	// side; experiments sample it to plot throughput over time (Fig 14).
 	GoodputBytes uint64
 
+	// LatHist observes end-to-end delivery latency at the responder: the
+	// gap between the requester stamping a data packet at emission and this
+	// QP accepting it in order. Always on — Observe is allocation-free and
+	// a handful of arithmetic ops per accepted packet.
+	LatHist obs.Histogram
+
 	nic *RNIC
 	eng *sim.Engine
 
@@ -102,6 +109,7 @@ type oooPkt struct {
 	va      uint64
 	rkey    uint32
 	value   float64
+	stamp   sim.Time
 }
 
 func newQP(r *RNIC, qpn uint32) *QP {
@@ -323,7 +331,11 @@ func (qp *QP) emit() {
 	}
 	if p.Retrans {
 		qp.nic.Stats.Retransmits++
+		if qp.nic.tr.On() {
+			qp.nic.rec(obs.KRetransmit, p, int64(w.MsgID), int64(payload))
+		}
 	}
+	p.Stamp = qp.eng.Now()
 	qp.nic.Stats.DataSent++
 	qp.nic.Host.Send(p)
 
@@ -423,12 +435,21 @@ func (qp *QP) handle(p *simnet.Packet) {
 		qp.handleData(p)
 	case simnet.Ack:
 		qp.nic.Stats.AcksRecv++
+		if qp.nic.tr.On() {
+			qp.nic.rec(obs.KAckRx, p, 0, 0)
+		}
 		qp.advanceCum(p.PSN + 1)
 	case simnet.Nack:
 		qp.nic.Stats.NacksRecv++
+		if qp.nic.tr.On() {
+			qp.nic.rec(obs.KNackRx, p, 0, 0)
+		}
 		qp.handleNack(p)
 	case simnet.CNP:
 		qp.nic.Stats.CNPsRecv++
+		if qp.nic.tr.On() {
+			qp.nic.rec(obs.KCNPRx, p, 0, 0)
+		}
 		if qp.cc != nil {
 			qp.cc.onCNP()
 		}
@@ -480,11 +501,14 @@ func (qp *QP) handleData(p *simnet.Packet) {
 		cnp := simnet.NewPacket()
 		cnp.Type, cnp.Src, cnp.Dst = simnet.CNP, qp.nic.Host.IP, p.Src
 		cnp.SrcQP, cnp.DstQP = qp.QPN, p.SrcQP
+		if qp.nic.tr.On() {
+			qp.nic.rec(obs.KCNPTx, cnp, 0, 0)
+		}
 		qp.nic.Host.Send(cnp)
 	}
 	switch {
 	case p.PSN == qp.rqPSN:
-		qp.ingest(p.Payload, p.Last, p.MsgID, p.WriteVA, p.WriteRKey, p.Value, p)
+		qp.ingest(p.Payload, p.Last, p.MsgID, p.WriteVA, p.WriteRKey, p.Value, p.Stamp, p)
 		// IRN: the gap closed; drain whatever was buffered behind it.
 		for qp.ooo != nil {
 			o, ok := qp.ooo[qp.rqPSN]
@@ -492,7 +516,7 @@ func (qp *QP) handleData(p *simnet.Packet) {
 				break
 			}
 			delete(qp.ooo, qp.rqPSN)
-			qp.ingest(o.payload, o.last, o.msgID, o.va, o.rkey, o.value, p)
+			qp.ingest(o.payload, o.last, o.msgID, o.va, o.rkey, o.value, o.stamp, p)
 		}
 		if qp.ackDue {
 			qp.ackDue = false
@@ -508,6 +532,7 @@ func (qp *QP) handleData(p *simnet.Packet) {
 				qp.ooo[p.PSN] = oooPkt{
 					payload: p.Payload, last: p.Last, msgID: p.MsgID,
 					va: p.WriteVA, rkey: p.WriteRKey, value: p.Value,
+					stamp: p.Stamp,
 				}
 			}
 			if qp.rqPSN != qp.lastNackedPSN || now-qp.lastNackedAt >= cfg.RetxTimeout/8 {
@@ -531,8 +556,22 @@ func (qp *QP) handleData(p *simnet.Packet) {
 
 // ingest accepts one in-order packet's worth of state: cumulative PSN,
 // message assembly, delivery, and ACK coalescing accounting. ref carries
-// the flow addressing used for feedback and delivery metadata.
-func (qp *QP) ingest(payload int, last bool, msgID uint64, va uint64, rkey uint32, value float64, ref *simnet.Packet) {
+// the flow addressing used for feedback and delivery metadata; stamp is the
+// requester-side emission time of this packet (not of ref, which for a
+// buffered out-of-order packet is the later gap-filler).
+func (qp *QP) ingest(payload int, last bool, msgID uint64, va uint64, rkey uint32, value float64, stamp sim.Time, ref *simnet.Packet) {
+	if stamp > 0 {
+		lat := int64(qp.eng.Now() - stamp)
+		qp.LatHist.Observe(lat)
+		// Per-packet latency goes into the always-on histogram; the trace
+		// gets one DELIVER per completed message (the event an application
+		// observes). Tracing every accepted packet would add ~20% event
+		// volume while repeating what LatHist already aggregates.
+		if last && qp.nic.tr.On() {
+			qp.nic.tr.Record(qp.eng.Now(), obs.KDeliver, obs.RNone, -1, uint8(simnet.Data),
+				uint32(ref.Src), uint32(qp.nic.Host.IP), qp.rqPSN, lat, int64(qp.curBytes+payload))
+		}
+	}
 	qp.rqPSN++
 	qp.nackPending = false
 	qp.GoodputBytes += uint64(payload)
@@ -564,6 +603,9 @@ func (qp *QP) sendNack(ref *simnet.Packet) {
 	n := simnet.NewPacket()
 	n.Type, n.Src, n.Dst = simnet.Nack, qp.nic.Host.IP, ref.Src
 	n.SrcQP, n.DstQP, n.PSN = qp.QPN, ref.SrcQP, qp.rqPSN
+	if qp.nic.tr.On() {
+		qp.nic.rec(obs.KNackTx, n, 0, 0)
+	}
 	qp.nic.Host.Send(n)
 }
 
@@ -572,5 +614,8 @@ func (qp *QP) sendAck(p *simnet.Packet) {
 	a := simnet.NewPacket()
 	a.Type, a.Src, a.Dst = simnet.Ack, qp.nic.Host.IP, p.Src
 	a.SrcQP, a.DstQP, a.PSN = qp.QPN, p.SrcQP, qp.rqPSN-1
+	if qp.nic.tr.On() {
+		qp.nic.rec(obs.KAckTx, a, 0, 0)
+	}
 	qp.nic.Host.Send(a)
 }

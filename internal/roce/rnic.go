@@ -3,6 +3,7 @@ package roce
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -46,6 +47,29 @@ type RNIC struct {
 
 	// blocked holds QPs deferred by NIC backpressure, resumed on drain.
 	blocked []*QP
+
+	// tr is the host's flight-recorder handle (shared with the NIC port);
+	// nil while tracing is off.
+	tr *obs.Tracer
+}
+
+// SetTracer attaches the host's flight-recorder handle. Transport events
+// (ACK/NACK/CNP tx+rx, retransmits, deliveries) record under the host's
+// device id with Port = -1.
+func (r *RNIC) SetTracer(tr *obs.Tracer) { r.tr = tr }
+
+// rec captures one transport event against packet p; callers guard with
+// r.tr.On().
+func (r *RNIC) rec(k obs.Kind, p *simnet.Packet, a, b int64) {
+	r.tr.Record(r.eng.Now(), k, obs.RNone, -1, uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.PSN, a, b)
+}
+
+// MergeDeliveryLatency folds every QP's delivery-latency histogram into h.
+// Histogram merge is commutative, so the map iteration order is irrelevant.
+func (r *RNIC) MergeDeliveryLatency(h *obs.Histogram) {
+	for _, qp := range r.qps {
+		h.Merge(&qp.LatHist)
+	}
 }
 
 // NewRNIC attaches a RoCE engine to a host and installs itself as the

@@ -101,6 +101,12 @@ type Parallel struct {
 	started bool
 	startCh []chan Time
 	doneCh  chan struct{}
+
+	// barrier, when set, runs on the coordinator at every window barrier
+	// (all workers parked). The observability layer hooks it to drain
+	// per-LP trace shards; any coordinator-side bookkeeping that must see a
+	// consistent cross-LP snapshot can ride on it.
+	barrier func()
 }
 
 // NewParallel creates an empty run. workers is the number of goroutines
@@ -161,6 +167,13 @@ func (p *Parallel) Lookahead() Time { return p.lookahead }
 
 // Workers returns the configured worker count.
 func (p *Parallel) Workers() int { return p.workers }
+
+// SetBarrier installs a hook that the coordinator invokes at every window
+// barrier, after cross-LP outboxes have been drained and while all workers
+// are parked — the hook may therefore read (and reset) state written by any
+// LP during preceding windows without synchronization. A nil f removes the
+// hook.
+func (p *Parallel) SetBarrier(f func()) { p.barrier = f }
 
 // Now returns the virtual-time floor: the start of the most recent window.
 // Every LP's local clock is at or beyond it.
@@ -323,6 +336,9 @@ func (p *Parallel) run(limit Time, pred func() bool, serial bool) Outcome {
 	}
 	for {
 		p.drain()
+		if p.barrier != nil {
+			p.barrier()
+		}
 		if pred != nil && pred() {
 			return Done
 		}

@@ -5,7 +5,11 @@
 // (internal/core) plug into it through small interfaces.
 package simnet
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // Addr is an IPv4-like 32-bit address. Multicast group IDs (McstID in the
 // paper) live in the class-D range so IsMulticast can classify packets the
@@ -118,6 +122,12 @@ type Packet struct {
 
 	// ECN is the CE codepoint, set by congested egress queues.
 	ECN bool
+
+	// Stamp is the requester-side emission time of a Data packet (set by the
+	// transport, zero otherwise). The responder reads it to observe
+	// end-to-end delivery latency; Clone inherits it, so a replicated
+	// multicast copy still carries the original emission time.
+	Stamp sim.Time
 
 	// WriteVA/WriteRKey model the RETH of an RDMA WRITE first packet. The
 	// accelerator rewrites them per receiver from the MFT's MR info.

@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -86,6 +87,30 @@ type Port struct {
 	txDoneH  txDoneHandler
 	deliverH deliverHandler
 	rxH      rxHandler
+
+	// Observability. tr is the owning device's flight-recorder handle (nil
+	// while tracing is off — the nil check is the entire disabled cost); fab
+	// is the owning LP's fabric-counter shard (nil-safe); QHist observes the
+	// egress queue depth at every enqueue.
+	tr    *obs.Tracer
+	fab   *obs.FabricLP
+	QHist obs.Histogram
+}
+
+// SetTracer attaches the owning device's flight-recorder handle. Port events
+// record under that device id with Port distinguishing the egress.
+func (pt *Port) SetTracer(tr *obs.Tracer) { pt.tr = tr }
+
+// SetFabric attaches the owning LP's fabric-counter shard.
+func (pt *Port) SetFabric(fab *obs.FabricLP) { pt.fab = fab }
+
+// rec captures one packet-scoped flight-recorder event; callers guard with
+// pt.tr.On(). a is the kind-specific payload (usually queue depth in bytes);
+// size is p's wire size, passed in so the hot callers (enqueue/dequeue, which
+// have it at hand) keep this wrapper within the inlining budget — recording a
+// traced event then costs one call, not two.
+func (pt *Port) rec(k obs.Kind, r obs.Reason, p *Packet, a, size int64) {
+	pt.tr.Record(pt.eng.Now(), k, r, pt.ID, uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.PSN, a, size)
 }
 
 // txDoneHandler fires when a frame finishes serializing: the link is free for
@@ -116,6 +141,10 @@ func (h *deliverHandler) OnEvent(_ *sim.Engine, arg any) {
 	peer := pt.Peer
 	if pt.epoch != p.txEpoch || peer.epoch != p.peerEpoch {
 		pt.Stats.FaultDrops++
+		pt.fab.Inc(obs.FFaultDrops)
+		if pt.tr.On() {
+			pt.rec(obs.KDrop, obs.RFault, p, 0, int64(p.Size()))
+		}
 		p.Release()
 		return
 	}
@@ -135,6 +164,10 @@ func (h *rxHandler) OnEvent(_ *sim.Engine, arg any) {
 	p := arg.(*Packet)
 	if pt.down {
 		pt.Stats.FaultDrops++
+		pt.fab.Inc(obs.FFaultDrops)
+		if pt.tr.On() {
+			pt.rec(obs.KDrop, obs.RFault, p, 0, int64(p.Size()))
+		}
 		p.Release()
 		return
 	}
@@ -267,6 +300,10 @@ func (pt *Port) purge() {
 			p := pt.queues[cls].popFront()
 			pt.Stats.Drops++
 			pt.Stats.FaultDrops++
+			pt.fab.Inc(obs.FFaultDrops)
+			if pt.tr.On() {
+				pt.rec(obs.KDrop, obs.RFault, p, int64(pt.qBytes), int64(p.Size()))
+			}
 			if p.acct != nil {
 				p.acct.release(p.Size())
 				p.acct = nil
@@ -308,11 +345,19 @@ func (pt *Port) SendUrgent(p *Packet) {
 	if pt.down {
 		pt.Stats.Drops++
 		pt.Stats.FaultDrops++
+		pt.fab.Inc(obs.FFaultDrops)
+		if pt.tr.On() {
+			pt.rec(obs.KDrop, obs.RFault, p, int64(pt.qBytes), int64(p.Size()))
+		}
 		p.Release()
 		return
 	}
 	pt.queues[qCtrl].pushFront(p)
 	pt.qBytes += p.Size()
+	pt.QHist.Observe(int64(pt.qBytes))
+	if pt.tr.On() {
+		pt.rec(obs.KEnqueue, obs.RNone, p, int64(pt.qBytes), int64(p.Size()))
+	}
 	pt.trySend()
 }
 
@@ -321,11 +366,18 @@ func (pt *Port) enqueue(p *Packet, urgent bool) {
 	if pt.down {
 		pt.Stats.Drops++
 		pt.Stats.FaultDrops++
+		pt.fab.Inc(obs.FFaultDrops)
+		if pt.tr.On() {
+			pt.rec(obs.KDrop, obs.RFault, p, int64(pt.qBytes), int64(p.Size()))
+		}
 		p.Release()
 		return
 	}
 	if pt.QueueLimit > 0 && pt.qBytes+size > pt.QueueLimit {
 		pt.Stats.Drops++
+		if pt.tr.On() {
+			pt.rec(obs.KDrop, obs.RQueueLimit, p, int64(pt.qBytes), int64(size))
+		}
 		// The packet never occupied the queue; no accounting to release.
 		p.Release()
 		return
@@ -334,6 +386,9 @@ func (pt *Port) enqueue(p *Packet, urgent bool) {
 		if pt.eng.Rand().Float64() < pt.markProbability() {
 			p.ECN = true
 			pt.Stats.ECNMarks++
+			if pt.tr.On() {
+				pt.rec(obs.KECNMark, obs.RNone, p, int64(pt.qBytes), int64(size))
+			}
 		}
 	}
 	if p.acct != nil {
@@ -342,6 +397,10 @@ func (pt *Port) enqueue(p *Packet, urgent bool) {
 	cls := classOf(p)
 	pt.queues[cls].pushBack(p)
 	pt.qBytes += size
+	pt.QHist.Observe(int64(pt.qBytes))
+	if pt.tr.On() {
+		pt.rec(obs.KEnqueue, obs.RNone, p, int64(pt.qBytes), int64(size))
+	}
 	if pt.qBytes > pt.Stats.MaxQueued {
 		pt.Stats.MaxQueued = pt.qBytes
 	}
@@ -378,6 +437,9 @@ func (pt *Port) trySend() {
 	p := pt.queues[cls].popFront()
 	size := p.Size()
 	pt.qBytes -= size
+	if pt.tr.On() {
+		pt.rec(obs.KDequeue, obs.RNone, p, int64(pt.qBytes), int64(size))
+	}
 	pt.busy = true
 	tx := pt.TxTime(size)
 	pt.Stats.TxPackets++
@@ -402,6 +464,13 @@ func (pt *Port) trySend() {
 
 // setPaused flips PFC pause state on this egress.
 func (pt *Port) setPaused(v bool) {
+	if pt.paused != v && pt.tr.On() {
+		k := obs.KPFCResume
+		if v {
+			k = obs.KPFCPause
+		}
+		pt.tr.Record(pt.eng.Now(), k, obs.RNone, pt.ID, 0, 0, 0, 0, int64(pt.qBytes), 0)
+	}
 	pt.paused = v
 	if !v {
 		if pt.OnDrain != nil && pt.qBytes <= pt.LowWater {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -356,5 +357,19 @@ func TestPriorityQueuesPreserveWork(t *testing.T) {
 	}
 	if a.NIC.QueuedBytes() != 0 {
 		t.Fatalf("%d bytes stranded in queues", a.NIC.QueuedBytes())
+	}
+}
+
+// TestObsPacketTypeNamesInSync pins the duplicated packet-type name table in
+// internal/obs (which cannot import simnet — simnet imports obs) to this
+// package's PacketType.String. A new PacketType must be added to both.
+func TestObsPacketTypeNamesInSync(t *testing.T) {
+	for pt := Data; pt <= Raw; pt++ {
+		if got := obs.PktTypeName(uint8(pt)); got != pt.String() {
+			t.Errorf("obs.PktTypeName(%d) = %q, simnet %q", uint8(pt), got, pt.String())
+		}
+	}
+	if got := obs.PktTypeName(uint8(Raw) + 1); got == Raw.String() {
+		t.Errorf("obs names a packet type simnet does not have: %q", got)
 	}
 }

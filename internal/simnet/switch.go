@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -110,6 +111,43 @@ type Switch struct {
 
 	eng  *sim.Engine
 	down bool
+
+	// Observability: the switch-level flight-recorder handle (shared with
+	// its ports and its attached accelerator; nil while tracing is off) and
+	// the owning LP's fabric-counter shard.
+	tr  *obs.Tracer
+	fab *obs.FabricLP
+}
+
+// SetTracer attaches the flight-recorder handle and propagates it to every
+// port. Switch-scoped events (crash/loss/no-route drops) record with the
+// ingress or egress port id where one exists, -1 otherwise.
+func (sw *Switch) SetTracer(tr *obs.Tracer) {
+	sw.tr = tr
+	for _, pt := range sw.Ports {
+		pt.SetTracer(tr)
+	}
+}
+
+// Tracer returns the switch's flight-recorder handle (nil when tracing is
+// off), so the attached accelerator can record under the same device.
+func (sw *Switch) Tracer() *obs.Tracer { return sw.tr }
+
+// SetFabric attaches the owning LP's fabric-counter shard to the switch and
+// its ports.
+func (sw *Switch) SetFabric(fab *obs.FabricLP) {
+	sw.fab = fab
+	for _, pt := range sw.Ports {
+		pt.SetFabric(fab)
+	}
+}
+
+// Fabric returns the switch's fabric shard (nil outside a Cluster).
+func (sw *Switch) Fabric() *obs.FabricLP { return sw.fab }
+
+// recDrop captures a switch-level drop; callers guard with sw.tr.On().
+func (sw *Switch) recDrop(r obs.Reason, p *Packet, port int) {
+	sw.tr.Record(sw.eng.Now(), obs.KDrop, r, port, uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.PSN, 0, int64(p.Size()))
 }
 
 // NewSwitch creates a switch with no ports.
@@ -191,6 +229,14 @@ func (sw *Switch) Restart() {
 func (sw *Switch) Receive(p *Packet, in *Port) {
 	if sw.down {
 		sw.CrashDrops++
+		sw.fab.Inc(obs.FCrashDrops)
+		if sw.tr.On() {
+			port := -1
+			if in != nil {
+				port = in.ID
+			}
+			sw.recDrop(obs.RCrash, p, port)
+		}
 		p.Release()
 		return
 	}
@@ -216,6 +262,14 @@ func (sw *Switch) Forward(p *Packet, in *Port) {
 	ports, ok := sw.FIB[p.Dst]
 	if !ok || len(ports) == 0 {
 		sw.NoRouteDrops++
+		sw.fab.Inc(obs.FNoRouteDrops)
+		if sw.tr.On() {
+			port := -1
+			if in != nil {
+				port = in.ID
+			}
+			sw.recDrop(obs.RNoRoute, p, port)
+		}
 		p.Release()
 		return
 	}
@@ -231,16 +285,28 @@ func (sw *Switch) Forward(p *Packet, in *Port) {
 func (sw *Switch) Output(p *Packet, out int, in *Port) {
 	if sw.down {
 		sw.CrashDrops++
+		sw.fab.Inc(obs.FCrashDrops)
+		if sw.tr.On() {
+			sw.recDrop(obs.RCrash, p, out)
+		}
 		p.Release()
 		return
 	}
 	if sw.LossRate > 0 && p.Type == Data && sw.eng.Rand().Float64() < sw.LossRate {
 		sw.DataDrops++
+		sw.fab.Inc(obs.FDataDrops)
+		if sw.tr.On() {
+			sw.recDrop(obs.RLoss, p, out)
+		}
 		p.Release()
 		return
 	}
 	if sw.ControlLossRate > 0 && isLossyControl(p.Type) && sw.eng.Rand().Float64() < sw.ControlLossRate {
 		sw.CtrlDrops++
+		sw.fab.Inc(obs.FCtrlDrops)
+		if sw.tr.On() {
+			sw.recDrop(obs.RCtrlLoss, p, out)
+		}
 		p.Release()
 		return
 	}

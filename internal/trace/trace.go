@@ -22,32 +22,30 @@ type Point struct {
 type Sampler struct {
 	Interval sim.Time
 
-	eng     *sim.Engine
-	probe   func() float64
-	points  []Point
-	stopped bool
+	eng    *sim.Engine
+	probe  func() float64
+	points []Point
+	tm     *sim.Timer
 }
 
 // NewSampler starts sampling probe every interval, beginning one interval
 // from now.
 func NewSampler(eng *sim.Engine, interval sim.Time, probe func() float64) *Sampler {
 	s := &Sampler{Interval: interval, eng: eng, probe: probe}
-	s.arm()
+	s.tm = eng.NewTimer(s.sample)
+	s.tm.Reset(s.Interval)
 	return s
 }
 
-func (s *Sampler) arm() {
-	s.eng.After(s.Interval, func() {
-		if s.stopped {
-			return
-		}
-		s.points = append(s.points, Point{T: s.eng.Now(), V: s.probe()})
-		s.arm()
-	})
+func (s *Sampler) sample() {
+	s.points = append(s.points, Point{T: s.eng.Now(), V: s.probe()})
+	s.tm.Reset(s.Interval)
 }
 
-// Stop ends sampling.
-func (s *Sampler) Stop() { s.stopped = true }
+// Stop ends sampling and cancels the pending poll, so a stopped sampler no
+// longer holds a slot in the event heap (a drained run can complete instead
+// of ticking an abandoned sampler forever).
+func (s *Sampler) Stop() { s.tm.Stop() }
 
 // Points returns the collected series.
 func (s *Sampler) Points() []Point { return s.points }

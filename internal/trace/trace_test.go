@@ -36,6 +36,31 @@ func TestSamplerStop(t *testing.T) {
 	}
 }
 
+// TestSamplerStopCancelsHeapSlot pins the Timer-based re-arm: Stop must
+// remove the pending poll from the event heap, so a run over a stopped
+// sampler drains instead of ticking forever (the closure-based re-arm left
+// a live event behind and Run never returned on a sampler-only engine).
+func TestSamplerStopCancelsHeapSlot(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSampler(eng, sim.Millisecond, func() float64 { return 1 })
+	eng.RunUntil(3 * sim.Millisecond)
+	if eng.Pending() != 1 {
+		t.Fatalf("%d pending events while armed, want the one poll", eng.Pending())
+	}
+	s.Stop()
+	if eng.Pending() != 0 {
+		t.Fatalf("%d pending events after Stop, want 0: the poll still holds a heap slot", eng.Pending())
+	}
+	// With the heap empty, Run terminates immediately at the same virtual time.
+	eng.Run()
+	if eng.Now() != 3*sim.Millisecond {
+		t.Fatalf("engine advanced to %v after Stop; the abandoned poll kept ticking", eng.Now())
+	}
+	if len(s.Points()) != 3 {
+		t.Fatalf("%d samples, want 3", len(s.Points()))
+	}
+}
+
 func TestSamplerCSV(t *testing.T) {
 	eng := sim.New(1)
 	s := NewSampler(eng, sim.Millisecond, func() float64 { return 2.5 })

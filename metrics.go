@@ -1,6 +1,10 @@
 package cepheus
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Metrics aggregates the cluster-wide health and fault counters: what the
 // fabric dropped and why, and what the accelerators did to their volatile
@@ -37,8 +41,29 @@ type Metrics struct {
 	UnknownGroupNacks uint64
 }
 
-// Metrics sums the fault and drop counters over the whole fabric.
+// Metrics reads the fault and drop counters for the whole fabric: a sum of
+// the per-LP counter shards, O(NumLPs) instead of a walk over every device.
+// Only meaningful while the simulation is quiescent (between Run calls).
 func (c *Cluster) Metrics() Metrics {
+	f := c.Fab
+	return Metrics{
+		DataDrops:         f.Total(obs.FDataDrops),
+		CtrlDrops:         f.Total(obs.FCtrlDrops),
+		CrashDrops:        f.Total(obs.FCrashDrops),
+		NoRouteDrops:      f.Total(obs.FNoRouteDrops),
+		FaultDrops:        f.Total(obs.FFaultDrops),
+		MFTWipes:          f.Total(obs.FMFTWipes),
+		EpochRebuilds:     f.Total(obs.FEpochRebuilds),
+		StaleMRPDropped:   f.Total(obs.FStaleMRPDropped),
+		UnknownGroupDrops: f.Total(obs.FUnknownGroupDrops),
+		UnknownGroupNacks: f.Total(obs.FUnknownGroupNacks),
+	}
+}
+
+// metricsWalk recomputes Metrics the slow way, by walking every device's
+// private counters. It exists as a cross-check that the sharded fabric
+// counters track the per-device truth exactly (TestMetricsFabricMatchesWalk).
+func (c *Cluster) metricsWalk() Metrics {
 	var m Metrics
 	for _, sw := range c.Net.Switches {
 		m.DataDrops += sw.DataDrops

@@ -1,0 +1,123 @@
+package cepheus
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// DefaultTraceCapacity is the flight-recorder ring size EnableTrace uses
+// when the caller passes 0: large enough to hold the complete history of a
+// testbed-scale run, bounded enough that a fat-tree sweep keeps only its
+// recent past (a flight recorder, not a full log).
+const DefaultTraceCapacity = 1 << 20
+
+// EnableTrace turns the flight recorder on for every device in the cluster
+// and returns it. capacity bounds the central event ring (0 selects
+// DefaultTraceCapacity). Call it after construction and before the traffic
+// of interest; tracing can only be enabled once per cluster.
+//
+// Devices register switches-first in topology order, so device ids — and
+// therefore the canonical export order — are identical across sequential and
+// partitioned execution of the same topology. In parallel mode the recorder's
+// per-LP shards are merged at every window barrier by the coordinator; in
+// sequential mode everything lives in one shard and merging happens at
+// export.
+func (c *Cluster) EnableTrace(capacity int) *obs.Recorder {
+	if c.Rec != nil {
+		return c.Rec
+	}
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	nlp := 1
+	if c.Par != nil {
+		nlp = c.Par.NumLPs()
+	}
+	rec := obs.NewRecorder(nlp, capacity)
+	for _, sw := range c.Net.Switches {
+		// The switch, its ports, and its attached accelerator share one
+		// device id; the Port field distinguishes egresses.
+		sw.SetTracer(rec.NewTracer(sw.Name, sw.Engine().LP()))
+	}
+	for i, h := range c.Net.Hosts {
+		tr := rec.NewTracer(h.Name, h.Engine().LP())
+		h.NIC.SetTracer(tr)
+		c.RNICs[i].SetTracer(tr)
+	}
+	if c.Par != nil {
+		c.Par.SetBarrier(rec.Barrier)
+	}
+	c.Rec = rec
+	return rec
+}
+
+// WriteTrace exports the recorded history to w: JSONL when jsonl is true,
+// pcap-like text otherwise. A convenience over Rec.Events + WriteJSONL.
+func (c *Cluster) WriteTrace(w io.Writer, jsonl bool) error {
+	if c.Rec == nil {
+		return nil
+	}
+	evs := c.Rec.Events()
+	if jsonl {
+		return c.Rec.WriteJSONL(w, evs)
+	}
+	return c.Rec.WriteText(w, evs)
+}
+
+// WriteTraceFile is WriteTrace to a named file.
+func (c *Cluster) WriteTraceFile(path string, jsonl bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteTrace(f, jsonl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DeliveryLatency merges every QP's delivery-latency histogram across the
+// cluster's RNICs: the distribution, in nanoseconds, from requester emission
+// of a data packet to its in-order acceptance at a responder. Histogram
+// merging is commutative, so the result is independent of iteration order.
+func (c *Cluster) DeliveryLatency() obs.Summary {
+	var h obs.Histogram
+	for _, r := range c.RNICs {
+		r.MergeDeliveryLatency(&h)
+	}
+	return h.Summary()
+}
+
+// QueueDepth merges the egress queue-depth histograms of every port in the
+// fabric (switch egresses and host NICs): the distribution, in bytes, of
+// queue occupancy observed at each enqueue. Max is the deepest any queue
+// ever got.
+func (c *Cluster) QueueDepth() obs.Summary {
+	var h obs.Histogram
+	for _, sw := range c.Net.Switches {
+		for _, pt := range sw.Ports {
+			h.Merge(&pt.QHist)
+		}
+	}
+	for _, hst := range c.Net.Hosts {
+		h.Merge(&hst.NIC.QHist)
+	}
+	return h.Summary()
+}
+
+// SettleUntil drives the cluster until every event with timestamp <= t has
+// executed (or the run quiesces), in either execution mode. Trace
+// comparisons across modes cut at such a fixed horizon: a partitioned run
+// may execute slightly past it (to its window edge), a sequential run stops
+// exactly on it, and EventsUntil(t) yields the event set both agree on.
+func (c *Cluster) SettleUntil(t sim.Time) {
+	if c.Par != nil {
+		c.Par.RunUntil(t)
+		return
+	}
+	c.Eng.RunUntil(t)
+}

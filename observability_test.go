@@ -1,0 +1,188 @@
+package cepheus
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestMetricsFabricMatchesWalk drives a lossy workload with a crash/restart
+// cycle and checks that the sharded fabric counters Metrics() reads agree
+// exactly with a walk over every device's private counters.
+func TestMetricsFabricMatchesWalk(t *testing.T) {
+	core.ResetMcstIDs()
+	c := NewFatTree(4, Options{Seed: 7})
+	defer c.Close()
+	members := []int{0, 3, 6, 9, 12, 15}
+	b, err := c.Broadcaster(SchemeCepheus, members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetLossRate(0.01)
+	c.SetControlLossRate(0.005)
+	if _, err := c.RunBcastErr(b, 0, 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	// Crash a core switch mid-flight of a second transfer, then restart it:
+	// exercises crash drops, MFT wipes, unknown-group drops and NACKs.
+	sw := c.Net.Switches[len(c.Net.Switches)-1]
+	var done bool
+	b.Bcast(0, 512<<10, func() { done = true })
+	c.Eng.RunFor(50 * sim.Microsecond)
+	sw.Crash()
+	c.Eng.RunFor(200 * sim.Microsecond)
+	sw.Restart()
+	c.Eng.RunFor(5 * sim.Millisecond)
+	_ = done // the transfer may or may not finish around the crash; irrelevant here
+	c.Eng.RunFor(1 * sim.Millisecond)
+
+	got, want := c.Metrics(), c.metricsWalk()
+	if got != want {
+		t.Fatalf("fabric metrics diverge from device walk:\n fabric: %+v\n   walk: %+v", got, want)
+	}
+	if got.DataDrops == 0 || got.CtrlDrops == 0 {
+		t.Fatalf("workload did not exercise loss counters: %v", got)
+	}
+}
+
+// TestDeliveryLatencySanity checks the always-on latency histograms: a
+// completed broadcast must record one observation per accepted data packet
+// at each receiver, with quantiles bounded by physical limits.
+func TestDeliveryLatencySanity(t *testing.T) {
+	core.ResetMcstIDs()
+	c := NewTestbed(4, Options{Seed: 1})
+	defer c.Close()
+	b, err := c.Broadcaster(SchemeCepheus, []int{0, 1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jct, err := c.RunBcastErr(b, 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SettleUntil(c.Eng.Now() + sim.Millisecond)
+	s := c.DeliveryLatency()
+	if s.Count == 0 {
+		t.Fatal("no delivery latency observations after a completed broadcast")
+	}
+	if s.Min <= 0 {
+		t.Fatalf("delivery latency min %d must be positive (propagation alone is nonzero)", s.Min)
+	}
+	if s.Max > int64(jct) {
+		t.Fatalf("delivery latency max %d exceeds the whole JCT %d", s.Max, jct)
+	}
+	if s.P50 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("quantiles not monotone: %v", s)
+	}
+	q := c.QueueDepth()
+	if q.Count == 0 || q.Max <= 0 {
+		t.Fatalf("queue-depth histogram empty after traffic: %v", q)
+	}
+}
+
+// TestGroupDeliveryLatency checks the per-group histogram merge.
+func TestGroupDeliveryLatency(t *testing.T) {
+	core.ResetMcstIDs()
+	c := NewTestbed(4, Options{Seed: 1})
+	defer c.Close()
+	g, err := c.NewGroup([]int{0, 1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done bool
+	g.Members[0].QP.PostSend(32<<10, func() { done = true })
+	for !done {
+		if !c.Eng.Step() {
+			t.Fatal("queue drained before completion")
+		}
+	}
+	c.Eng.RunFor(sim.Millisecond)
+	gs := g.DeliveryLatency()
+	cs := c.DeliveryLatency()
+	if gs.Count == 0 || gs != cs {
+		t.Fatalf("group summary %+v differs from cluster summary %+v (single group)", gs, cs)
+	}
+}
+
+// traceWorkload runs the digest-equivalence workload with the flight
+// recorder on and returns the canonical JSONL export cut at a fixed virtual
+// horizon — every event at or before it executed in every mode — plus a
+// per-(device, kind) census of the same events. partition selects the
+// partitioned coordinator even at workers <= 1.
+func traceWorkload(t *testing.T, seed int64, workers int, partition bool) ([]byte, map[string]int) {
+	t.Helper()
+	core.ResetMcstIDs()
+	c := NewFatTree(8, Options{Seed: seed, Workers: workers, Partition: partition})
+	defer c.Close()
+	rec := c.EnableTrace(1 << 20)
+	members := make([]int, 16)
+	for i := range members {
+		members[i] = i * 8
+	}
+	b, err := c.Broadcaster(SchemeCepheus, members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunBcastErr(b, 0, 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 60 * sim.Millisecond
+	c.SettleUntil(horizon)
+	evs := rec.EventsUntil(horizon)
+	if len(evs) == 0 {
+		t.Fatal("trace captured nothing")
+	}
+	if rec.Lost() != 0 {
+		t.Fatalf("flight recorder overflowed (lost %d); grow capacity so the comparison sees complete histories", rec.Lost())
+	}
+	census := make(map[string]int)
+	for i := range evs {
+		census[rec.DevName(evs[i].Dev)+"/"+evs[i].Kind.String()]++
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), census
+}
+
+// TestTraceSeqParEquivalence is the tracing analogue of the digest test.
+//
+// The canonical trace serialization is the partitioned coordinator's: it
+// breaks same-nanosecond cross-LP delivery ties by (time, source LP, send
+// order), a rule independent of how many goroutines execute the windows. So
+// the merged stream must be byte-identical from fully serial execution
+// (workers=1 under Partition) through any parallel worker count.
+//
+// The legacy single engine serializes those same ties by scheduling order
+// instead. Both serializations are deterministic and result-equivalent
+// (TestSeqParDigestEquivalence pins jct/metrics/retransmits), but tie-order
+// leaks into order-sensitive trace payloads — which packet got which queue
+// depth — so legacy-vs-partitioned is compared on the tie-insensitive
+// per-(device, kind) event census rather than bytes. DESIGN.md §10 records
+// the distinction.
+func TestTraceSeqParEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-mode fat-tree sweeps in -short mode")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		ref, refCensus := traceWorkload(t, seed, 1, true)
+		for _, w := range []int{2, 4} {
+			got, _ := traceWorkload(t, seed, w, true)
+			if !bytes.Equal(ref, got) {
+				t.Errorf("seed %d: workers=%d trace diverges from serial partitioned run (%d vs %d bytes)", seed, w, len(got), len(ref))
+			}
+		}
+		_, legacyCensus := traceWorkload(t, seed, 0, false)
+		if len(legacyCensus) != len(refCensus) {
+			t.Errorf("seed %d: legacy engine census has %d (device, kind) classes, partitioned %d", seed, len(legacyCensus), len(refCensus))
+		}
+		for k, n := range refCensus {
+			if legacyCensus[k] != n {
+				t.Errorf("seed %d: event census diverges at %s: legacy %d, partitioned %d", seed, k, legacyCensus[k], n)
+			}
+		}
+	}
+}
