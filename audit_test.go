@@ -1,0 +1,244 @@
+package cepheus
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// auditMustBeClean fails the test with the auditor's own report when any
+// checker fired, and sanity-checks that the auditor actually saw the run.
+func auditMustBeClean(t *testing.T, c *Cluster) {
+	t.Helper()
+	c.Rec.Barrier() // flush shard residue through the attached auditor
+	if lost := c.Rec.ShardLost(); lost != 0 {
+		t.Fatalf("auditor coverage incomplete: %d events lost to shard overflow", lost)
+	}
+	if c.Aud.Seen() == 0 {
+		t.Fatal("auditor observed no events")
+	}
+	if !c.Aud.Clean() {
+		var sb strings.Builder
+		c.Aud.Report(&sb)
+		t.Fatalf("auditor flagged a clean workload:\n%s", sb.String())
+	}
+}
+
+// TestAuditCleanTestbed: a lossless testbed broadcast must audit clean.
+func TestAuditCleanTestbed(t *testing.T) {
+	core.ResetMcstIDs()
+	c := NewTestbed(4, Options{Seed: 1})
+	defer c.Close()
+	c.EnableAudit()
+	b, err := c.Broadcaster(SchemeCepheus, []int{0, 1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunBcastErr(b, 0, 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	c.SettleUntil(c.Eng.Now() + sim.Millisecond)
+	auditMustBeClean(t, c)
+}
+
+// TestAuditCleanLossy: random data+control loss plus a core-switch
+// crash/restart cycle mid-transfer (the TestMetricsFabricMatchesWalk
+// workload) exercises retransmission, NACKs, MFT wipes and unknown-group
+// drops — all of which are protocol-legal and must not trip any checker.
+func TestAuditCleanLossy(t *testing.T) {
+	core.ResetMcstIDs()
+	c := NewFatTree(4, Options{Seed: 7})
+	defer c.Close()
+	c.EnableAudit()
+	members := []int{0, 3, 6, 9, 12, 15}
+	b, err := c.Broadcaster(SchemeCepheus, members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetLossRate(0.01)
+	c.SetControlLossRate(0.005)
+	if _, err := c.RunBcastErr(b, 0, 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	sw := c.Net.Switches[len(c.Net.Switches)-1]
+	var done bool
+	b.Bcast(0, 512<<10, func() { done = true })
+	c.Eng.RunFor(50 * sim.Microsecond)
+	sw.Crash()
+	c.Eng.RunFor(200 * sim.Microsecond)
+	sw.Restart()
+	c.Eng.RunFor(5 * sim.Millisecond)
+	_ = done
+	c.Eng.RunFor(1 * sim.Millisecond)
+	auditMustBeClean(t, c)
+}
+
+// TestAuditCleanChaos is the in-tree analogue of `faultsim -scenario chaos
+// -audit`: a seeded fault storm on a leaf-spine fabric under the resilient
+// broadcast pipeline, audited end to end across three seeds.
+func TestAuditCleanChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seeded fault storms in -short mode")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			core.ResetMcstIDs()
+			c := NewLeafSpine(2, 2, 4, Options{Seed: seed})
+			defer c.Close()
+			c.EnableAudit()
+			members := make([]int, c.Hosts())
+			for i := range members {
+				members[i] = i
+			}
+			rg, err := c.NewResilientGroup(members, 0, RecoveryOptions{
+				Window:          500 * sim.Microsecond,
+				ReprobeInterval: 2 * sim.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := fault.NewInjector(c.Net)
+			var links []*simnet.Port
+			for _, sw := range c.Net.Switches[:2] {
+				for _, pt := range sw.Ports {
+					if _, ok := pt.Peer.Dev.(*simnet.Switch); ok {
+						links = append(links, pt)
+					}
+				}
+			}
+			const horizon = 20 * sim.Millisecond
+			in.Chaos(fault.ChaosConfig{
+				Seed: seed, Horizon: horizon, Events: 4,
+				MinDowntime: 2 * sim.Millisecond, MaxDowntime: 6 * sim.Millisecond,
+				Links: links, Switches: c.Net.Switches[2:], FlapFraction: 0.25,
+			})
+			minRuntime := c.Eng.Now() + horizon + 8*sim.Millisecond
+			for i := 0; i < 2 || c.Eng.Now() < minRuntime; i++ {
+				start := c.Eng.Now()
+				done := false
+				rg.Bcast(0, 1<<20, func() { done = true })
+				for !done {
+					if !c.Eng.Step() || c.Eng.Now()-start > 60*sim.Second {
+						t.Fatalf("broadcast %d wedged at t=%v", i, c.Eng.Now())
+					}
+				}
+			}
+			auditMustBeClean(t, c)
+		})
+	}
+}
+
+// TestAuditCorruptedTrace replays a real testbed trace through a fresh
+// auditor, first pristine (must be clean), then with a deliberately
+// duplicated DELIVER event — the duplicate must trip the delivery checker.
+func TestAuditCorruptedTrace(t *testing.T) {
+	core.ResetMcstIDs()
+	c := NewTestbed(4, Options{Seed: 1})
+	defer c.Close()
+	rec := c.EnableTrace(1 << 20)
+	b, err := c.Broadcaster(SchemeCepheus, []int{0, 1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunBcastErr(b, 0, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	c.SettleUntil(c.Eng.Now() + sim.Millisecond)
+	evs := rec.Events()
+
+	cfg := obs.AuditConfig{WindowPkts: c.RNICs[0].Cfg.WindowPkts}
+	pristine := obs.NewAuditor(cfg)
+	for i := range evs {
+		pristine.Observe(&evs[i])
+	}
+	if !pristine.Clean() {
+		var sb strings.Builder
+		pristine.Report(&sb)
+		t.Fatalf("pristine trace not clean:\n%s", sb.String())
+	}
+
+	// Corrupt: re-deliver an already-delivered packet at the same receiver.
+	var dup *obs.Event
+	for i := range evs {
+		if evs[i].Kind == obs.KDeliver {
+			dup = &evs[i]
+			break
+		}
+	}
+	if dup == nil {
+		t.Fatal("trace has no DELIVER events")
+	}
+	corrupted := obs.NewAuditor(cfg)
+	for i := range evs {
+		corrupted.Observe(&evs[i])
+	}
+	replay := *dup
+	replay.At = evs[len(evs)-1].At + 1
+	corrupted.Observe(&replay)
+	if corrupted.Clean() {
+		t.Fatal("duplicated DELIVER did not trip the auditor")
+	}
+	found := false
+	for _, v := range corrupted.Violations() {
+		if v.Check == "deliver" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a 'deliver' checker violation, got: %+v", corrupted.Violations())
+	}
+}
+
+// auditWorkload runs the digest-equivalence fat-tree workload with the
+// auditor attached and returns (events seen, violations).
+func auditWorkload(t *testing.T, workers int) (uint64, uint64) {
+	t.Helper()
+	core.ResetMcstIDs()
+	c := NewFatTree(8, Options{Seed: 1, Workers: workers, Partition: true})
+	defer c.Close()
+	c.EnableAudit()
+	members := make([]int, 16)
+	for i := range members {
+		members[i] = i * 8
+	}
+	b, err := c.Broadcaster(SchemeCepheus, members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunBcastErr(b, 0, 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	c.SettleUntil(60 * sim.Millisecond)
+	c.Rec.Barrier()
+	if lost := c.Rec.ShardLost(); lost != 0 {
+		t.Fatalf("workers=%d: %d events lost to shard overflow", workers, lost)
+	}
+	return c.Aud.Seen(), c.Aud.ViolationCount()
+}
+
+// TestAuditWorkerInvariance: the auditor consumes the canonical stream at
+// the barrier drain, so both its coverage and its verdict must be identical
+// under every PDES worker count.
+func TestAuditWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-mode fat-tree sweeps in -short mode")
+	}
+	refSeen, refViol := auditWorkload(t, 1)
+	if refViol != 0 {
+		t.Fatalf("serial partitioned run not clean: %d violations", refViol)
+	}
+	for _, w := range []int{2, 4} {
+		seen, viol := auditWorkload(t, w)
+		if seen != refSeen || viol != refViol {
+			t.Errorf("workers=%d: auditor saw %d events / %d violations, serial saw %d / %d",
+				w, seen, viol, refSeen, refViol)
+		}
+	}
+}

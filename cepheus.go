@@ -104,9 +104,13 @@ type Cluster struct {
 
 	// Fab holds the cluster's sharded fabric counters (always wired; the
 	// per-LP shards make Metrics a sum over NumLPs cells instead of a walk
-	// over every device). Rec is the flight recorder, nil until EnableTrace.
-	Fab *obs.Fabric
-	Rec *obs.Recorder
+	// over every device). Rec is the flight recorder, nil until EnableTrace;
+	// Aud the protocol auditor, nil until EnableAudit; Series the telemetry
+	// sampler, nil until EnableSeries.
+	Fab    *obs.Fabric
+	Rec    *obs.Recorder
+	Aud    *obs.Auditor
+	Series *obs.SeriesSet
 }
 
 // NewTestbed builds the paper's §IV configuration: n servers under one
@@ -219,8 +223,12 @@ func (c *Cluster) NewGroup(members []int, leader int) (*core.Group, error) {
 			return nil, fmt.Errorf("cepheus: registration stalled (%v)", out)
 		}
 	} else {
+		// Bound by time as well as by queue exhaustion: perpetual timers
+		// (the audit drain, the telemetry sampler) keep the queue non-empty
+		// even when registration is wedged. Mirrors the parallel path.
+		limit := c.Eng.Now() + 10*sim.Second
 		for !done {
-			if !c.Eng.Step() {
+			if !c.Eng.Step() || c.Eng.Now() > limit {
 				return nil, fmt.Errorf("cepheus: registration stalled")
 			}
 		}

@@ -45,6 +45,8 @@ var (
 	traceOut   = flag.String("trace", "", "record a flight-recorder trace and write it (JSONL) here; with several broadcasts the last one wins, so combine with -only")
 	traceCap   = flag.Int("tracecap", 0, "flight-recorder capacity in events (0: default)")
 	failOver   = flag.Float64("failover", 0, "traceov: exit nonzero if tracing costs more than this fraction of events/s (e.g. 0.10)")
+	auditOn    = flag.Bool("audit", false, "run the online protocol auditor on every broadcast; violations fail the run")
+	seriesOut  = flag.String("series", "", "fig14: sample per-flow DCQCN rates and queue depths, write the time series (CSV) here")
 )
 
 // benchRecord is one broadcast's machine-readable result, written by -json so
@@ -169,11 +171,28 @@ func run(only string) int {
 	return exitCode
 }
 
+// auditVerdict drains the recorder through the auditor and prints its
+// verdict; a dirty audit dumps the violations and fails the run.
+func auditVerdict(c *cepheus.Cluster, label string) {
+	if c.Aud == nil {
+		return
+	}
+	c.Rec.Barrier()
+	fmt.Printf("%s: %s\n", label, c.Aud.Verdict(c.Rec.ShardLost()))
+	if !c.Aud.Clean() {
+		c.Aud.Report(os.Stderr)
+		exitCode = 1
+	}
+}
+
 // runBcast drives one broadcast, records its result for -json, and converts a
 // stalled run into a clean CLI failure instead of a panic.
 func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label string) float64 {
 	if *traceOut != "" {
 		c.EnableTrace(*traceCap)
+	}
+	if *auditOn {
+		c.EnableAudit()
 	}
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
@@ -204,6 +223,7 @@ func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label st
 			os.Exit(1)
 		}
 	}
+	auditVerdict(c, label)
 	return float64(jct)
 }
 
@@ -418,6 +438,9 @@ func fig14() {
 	if *traceOut != "" {
 		c.EnableTrace(*traceCap)
 	}
+	if *auditOn {
+		c.EnableAudit()
+	}
 	members := make([]int, 16)
 	for i := range members {
 		members[i] = i
@@ -438,6 +461,25 @@ func fig14() {
 	}
 	f2, f2r := mk(1, 2)
 	f3, f3r := mk(3, 4)
+	// -series: sample the three competing flows' DCQCN rates (plus the
+	// default queue-depth and fabric-counter probes) every 100µs — the data
+	// behind the paper's rate-convergence figure.
+	var ser *obs.SeriesSet
+	if *seriesOut != "" {
+		var err error
+		if ser, err = c.EnableSeries(0, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "fig14: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range []struct {
+			name string
+			qp   *roce.QP
+		}{{"rate/f1-mcast", g.Members[0].QP}, {"rate/f2", f2}, {"rate/f3", f3}} {
+			qp := f.qp
+			ser.Track(f.name, func() float64 { return qp.Rate() / 1e9 })
+		}
+		ser.Start()
+	}
 	var stop2, stop3 bool
 	stream := func(qp *roce.QP, stop *bool) {
 		var post func()
@@ -468,12 +510,29 @@ func fig14() {
 	stop1, stop3 = true, true
 	_ = stop1
 	fmt.Print(t)
+	if ser != nil {
+		ser.Stop()
+		f, err := os.Create(*seriesOut)
+		if err == nil {
+			err = ser.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig14: series export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("series: %d samples x %d probes every %v -> %s\n",
+			ser.Samples(), len(ser.Names()), time.Duration(ser.Interval()), *seriesOut)
+	}
 	if *traceOut != "" {
 		if err := c.WriteTraceFile(*traceOut, true); err != nil {
 			fmt.Fprintf(os.Stderr, "fig14: trace export: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	auditVerdict(c, "fig14")
 }
 
 func reduceExt() {

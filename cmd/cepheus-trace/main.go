@@ -8,7 +8,16 @@
 //	cepheus-trace -kind DROP -reason qlimit t.jsonl
 //	cepheus-trace -dev core-0 -from 2ms -to 5ms t.jsonl
 //	cepheus-trace -group 1 t.jsonl                # events of multicast group 1
-//	cepheus-trace -diff other.jsonl trace.jsonl   # census deltas between runs
+//
+// Subcommands:
+//
+//	cepheus-trace spans [-group N] [-msg a.b.c.d#n] trace.jsonl
+//	    reconstruct per-message causal spans: hop-by-hop latency, the
+//	    replication tree, deliveries, retransmission epilogue, critical path
+//	cepheus-trace timeline [-group N] [-msg a.b.c.d#n] [-width 96] t.jsonl
+//	    fixed-width per-device lifelines over a time window
+//	cepheus-trace diff [-json] a.jsonl b.jsonl
+//	    census deltas between two runs; exits 1 when they differ (CI gate)
 package main
 
 import (
@@ -18,9 +27,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 var (
@@ -45,7 +57,10 @@ type line struct {
 	PT     string `json:"pt"`
 	Src    string `json:"src"`
 	Dst    string `json:"dst"`
+	SQP    uint32 `json:"sqp"`
+	DQP    uint32 `json:"dqp"`
 	PSN    uint64 `json:"psn"`
+	Msg    uint64 `json:"msg"`
 	A      int64  `json:"a"`
 	B      int64  `json:"b"`
 }
@@ -80,6 +95,75 @@ func load(path string) []line {
 		fatalf("%s: %v", path, err)
 	}
 	return out
+}
+
+// toEvents converts JSONL lines back into obs events, assigning device ids
+// in first-seen order (the export is already in canonical order, so the
+// numbering — and everything derived from it — is deterministic). The
+// returned names function inverts the assignment for rendering.
+func toEvents(ls []line) ([]obs.Event, func(uint32) string) {
+	ids := make(map[string]uint32)
+	var names []string
+	evs := make([]obs.Event, 0, len(ls))
+	for i := range ls {
+		l := &ls[i]
+		id, ok := ids[l.Dev]
+		if !ok {
+			id = uint32(len(names))
+			ids[l.Dev] = id
+			names = append(names, l.Dev)
+		}
+		k, ok := obs.KindByName(l.Kind)
+		if !ok {
+			fatalf("line %d: unknown kind %q", i+1, l.Kind)
+		}
+		r := obs.RNone
+		if l.Reason != "" {
+			if r, ok = obs.ReasonByName(l.Reason); !ok {
+				fatalf("line %d: unknown reason %q", i+1, l.Reason)
+			}
+		}
+		pt, ok := obs.PktTypeByName(l.PT)
+		if !ok {
+			fatalf("line %d: unknown packet type %q", i+1, l.PT)
+		}
+		src, ok := obs.ParseAddr(l.Src)
+		if !ok {
+			fatalf("line %d: bad src address %q", i+1, l.Src)
+		}
+		dstA, ok := obs.ParseAddr(l.Dst)
+		if !ok {
+			fatalf("line %d: bad dst address %q", i+1, l.Dst)
+		}
+		evs = append(evs, obs.Event{
+			At: sim.Time(l.T), Seq: uint64(i), Dev: id, Port: int16(l.Port),
+			Kind: k, Reason: r, PT: pt, Src: src, Dst: dstA,
+			SrcQP: l.SQP, DstQP: l.DQP, PSN: l.PSN, Msg: l.Msg, A: l.A, B: l.B,
+		})
+	}
+	return evs, func(d uint32) string {
+		if int(d) < len(names) {
+			return names[d]
+		}
+		return "?"
+	}
+}
+
+// parseMsg inverts obs.MsgString ("a.b.c.d#n").
+func parseMsg(s string) (uint64, error) {
+	i := strings.IndexByte(s, '#')
+	if i < 0 {
+		return 0, fmt.Errorf("bad message id %q (want origin#counter, e.g. 10.0.0.1#3)", s)
+	}
+	origin, ok := obs.ParseAddr(s[:i])
+	if !ok {
+		return 0, fmt.Errorf("bad origin address %q in message id", s[:i])
+	}
+	ctr, err := strconv.ParseUint(s[i+1:], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad counter in message id %q: %v", s, err)
+	}
+	return uint64(origin)<<32 | ctr, nil
 }
 
 func (l *line) keep() bool {
@@ -160,7 +244,15 @@ func printCensus(ls []line) {
 	fmt.Printf("%8d  total over %v..%v\n", len(ls), time.Duration(lo), time.Duration(hi))
 }
 
-func printDiff(a, b []line, pathA, pathB string) {
+// censusDelta is one diverging census row, also the -json element schema.
+type censusDelta struct {
+	Key   string `json:"key"`
+	A     int    `json:"a"`
+	B     int    `json:"b"`
+	Delta int    `json:"delta"`
+}
+
+func censusDeltas(a, b []line) []censusDelta {
 	ca, cb := census(a), census(b)
 	keys := make(map[string]bool)
 	for k := range ca {
@@ -169,20 +261,26 @@ func printDiff(a, b []line, pathA, pathB string) {
 	for k := range cb {
 		keys[k] = true
 	}
-	changed := 0
 	ks := make([]string, 0, len(keys))
 	for k := range keys {
 		ks = append(ks, k)
 	}
 	sort.Strings(ks)
+	var out []censusDelta
 	for _, k := range ks {
-		if ca[k] == cb[k] {
-			continue
+		if ca[k] != cb[k] {
+			out = append(out, censusDelta{Key: k, A: ca[k], B: cb[k], Delta: cb[k] - ca[k]})
 		}
-		changed++
-		fmt.Printf("%8d -> %-8d %+-8d %s\n", ca[k], cb[k], cb[k]-ca[k], k)
 	}
-	if changed == 0 {
+	return out
+}
+
+func printDiff(a, b []line, pathA, pathB string) {
+	ds := censusDeltas(a, b)
+	for _, d := range ds {
+		fmt.Printf("%8d -> %-8d %+-8d %s\n", d.A, d.B, d.Delta, d.Key)
+	}
+	if len(ds) == 0 {
 		fmt.Printf("no census differences (%d events in %s, %d in %s)\n", len(a), pathA, len(b), pathB)
 	}
 }
@@ -199,14 +297,170 @@ func printListing(ls []line) {
 		if l.Port >= 0 {
 			fmt.Fprintf(w, " port=%d", l.Port)
 		}
-		fmt.Fprintf(w, " %s %s > %s psn=%d a=%d b=%d\n", l.PT, l.Src, l.Dst, l.PSN, l.A, l.B)
+		fmt.Fprintf(w, " %s %s > %s psn=%d", l.PT, l.Src, l.Dst, l.PSN)
+		if l.Msg != 0 {
+			fmt.Fprintf(w, " msg=%s", obs.MsgString(l.Msg))
+		}
+		fmt.Fprintf(w, " a=%d b=%d\n", l.A, l.B)
+	}
+}
+
+// filterEvents applies the span/timeline selection (message, group, window)
+// to decoded events. Epilogue events carry the group address only in Src/Dst
+// asymmetrically, so group selection keys on the message's span membership:
+// any event whose Msg matched survives regardless of its own addresses.
+func filterEvents(evs []obs.Event, msg uint64, groupAddr uint32, from, to sim.Time) []obs.Event {
+	if msg == 0 && groupAddr == 0 && from == 0 && to == 0 {
+		return evs
+	}
+	// Pass 1: which messages touch the group address?
+	inGroup := make(map[uint64]bool)
+	if groupAddr != 0 {
+		for i := range evs {
+			if evs[i].Msg != 0 && evs[i].Dst == groupAddr {
+				inGroup[evs[i].Msg] = true
+			}
+		}
+	}
+	out := evs[:0]
+	for i := range evs {
+		e := &evs[i]
+		if msg != 0 && e.Msg != msg {
+			continue
+		}
+		if groupAddr != 0 && !(e.Dst == groupAddr || (e.Msg != 0 && inGroup[e.Msg])) {
+			continue
+		}
+		if from > 0 && e.At < from {
+			continue
+		}
+		if to > 0 && e.At > to {
+			continue
+		}
+		out = append(out, *e)
+	}
+	return out
+}
+
+func cmdSpans(args []string) {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	msgF := fs.String("msg", "", "only this message (origin#counter, e.g. 10.0.0.1#3)")
+	groupF := fs.Int("group", -1, "only messages of this multicast group id")
+	fromF := fs.Duration("from", 0, "only events at or after this virtual time")
+	toF := fs.Duration("to", 0, "only events at or before this virtual time (0: no bound)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cepheus-trace spans [flags] trace.jsonl")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	var msg uint64
+	if *msgF != "" {
+		var err error
+		if msg, err = parseMsg(*msgF); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	var groupAddr uint32
+	if *groupF >= 0 {
+		groupAddr = 0xE0000000 + uint32(*groupF)
+	}
+	evs, names := toEvents(load(fs.Arg(0)))
+	evs = filterEvents(evs, msg, groupAddr, sim.Time(*fromF), sim.Time(*toF))
+	spans := obs.BuildSpans(evs)
+	if len(spans) == 0 {
+		fmt.Fprintln(os.Stderr, "cepheus-trace: no spans (trace has no message-tagged events in the selection)")
+		os.Exit(1)
+	}
+	if err := obs.WriteSpans(os.Stdout, spans, names); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func cmdTimeline(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	msgF := fs.String("msg", "", "only this message (origin#counter)")
+	groupF := fs.Int("group", -1, "only events addressed to this multicast group id")
+	fromF := fs.Duration("from", 0, "window start")
+	toF := fs.Duration("to", 0, "window end (0: last event)")
+	widthF := fs.Int("width", 0, "lifeline width in columns (0: 96)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cepheus-trace timeline [flags] trace.jsonl")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	opt := obs.TimelineOptions{
+		From:  sim.Time(*fromF),
+		To:    sim.Time(*toF),
+		Width: *widthF,
+	}
+	if *msgF != "" {
+		var err error
+		if opt.Msg, err = parseMsg(*msgF); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *groupF >= 0 {
+		opt.Group = 0xE0000000 + uint32(*groupF)
+	}
+	evs, names := toEvents(load(fs.Arg(0)))
+	if err := obs.WriteTimeline(os.Stdout, evs, names, opt); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	jsonF := fs.Bool("json", false, "emit the deltas as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: cepheus-trace diff [-json] a.jsonl b.jsonl")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	a, b := load(fs.Arg(0)), load(fs.Arg(1))
+	ds := censusDeltas(a, b)
+	if *jsonF {
+		out := struct {
+			A       string        `json:"a"`
+			B       string        `json:"b"`
+			EventsA int           `json:"events_a"`
+			EventsB int           `json:"events_b"`
+			Equal   bool          `json:"equal"`
+			Changed []censusDelta `json:"changed"`
+		}{fs.Arg(0), fs.Arg(1), len(a), len(b), len(ds) == 0, ds}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		printDiff(a, b, fs.Arg(0), fs.Arg(1))
+	}
+	if len(ds) != 0 {
+		os.Exit(1)
 	}
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "spans":
+			cmdSpans(os.Args[2:])
+			return
+		case "timeline":
+			cmdTimeline(os.Args[2:])
+			return
+		case "diff":
+			cmdDiff(os.Args[2:])
+			return
+		}
+	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cepheus-trace [flags] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "       cepheus-trace spans|timeline|diff -h")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

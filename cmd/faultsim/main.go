@@ -31,6 +31,7 @@ var (
 	horizon  = flag.Duration("horizon", 0, "chaos: injection window (0: auto)")
 	trace    = flag.String("trace", "", "write a flight-recorder trace (JSONL) to this file")
 	tracecap = flag.Int("tracecap", 0, "flight-recorder capacity in events (0: default)")
+	audit    = flag.Bool("audit", false, "run the online protocol auditor across the chaos; violations fail the run")
 )
 
 func main() {
@@ -96,6 +97,9 @@ func run(c *cepheus.Cluster, inject func(*cepheus.Cluster, *fault.Injector) sim.
 	if *trace != "" {
 		c.EnableTrace(*tracecap)
 	}
+	if *audit {
+		c.EnableAudit()
+	}
 
 	members := make([]int, c.Hosts())
 	for i := range members {
@@ -138,6 +142,7 @@ func run(c *cepheus.Cluster, inject func(*cepheus.Cluster, *fault.Injector) sim.
 
 	fmt.Printf("\nfinal mode: native=%v\n", rg.Native())
 	fmt.Printf("recovery: %+v\n", rg.Stats)
+	printRecoverySpans(rg)
 	fmt.Printf("fabric:   %s\n", c.Metrics())
 	fmt.Printf("faults:   %+v\n", in.Stats)
 	fmt.Printf("delivery latency (ns): %s\n", c.DeliveryLatency())
@@ -148,5 +153,44 @@ func run(c *cepheus.Cluster, inject func(*cepheus.Cluster, *fault.Injector) sim.
 			os.Exit(1)
 		}
 		fmt.Printf("trace:    %s (%d events, %d lost)\n", *trace, len(c.Rec.Events()), c.Rec.Lost())
+	}
+	if *audit {
+		c.Rec.Barrier() // flush the shard residue through the auditor
+		fmt.Println(c.Aud.Verdict(c.Rec.ShardLost()))
+		if !c.Aud.Clean() {
+			c.Aud.Report(os.Stderr)
+			os.Exit(1)
+		}
+	}
+}
+
+// printRecoverySpans summarizes every degrade episode: when the failure was
+// detected, how long until the first AMcast fallback delivery was posted, and
+// when native multicast was restored.
+func printRecoverySpans(rg *cepheus.ResilientGroup) {
+	spans := rg.RecoverySpans()
+	fmt.Printf("recovery spans: %d episode(s)\n", len(spans))
+	var nRestored int
+	var sumFallback, sumDegraded sim.Time
+	for i, s := range spans {
+		line := fmt.Sprintf("  span %d: detect=%v", i, s.DetectAt)
+		if s.FirstFallbackAt >= 0 {
+			line += fmt.Sprintf(" first-fallback=+%v", s.FirstFallbackAt-s.DetectAt)
+			sumFallback += s.FirstFallbackAt - s.DetectAt
+		} else {
+			line += " first-fallback=-"
+		}
+		if s.RestoreAt >= 0 {
+			line += fmt.Sprintf(" restore=+%v", s.RestoreAt-s.DetectAt)
+			nRestored++
+			sumDegraded += s.Degraded()
+		} else {
+			line += " restore=- (still degraded)"
+		}
+		fmt.Printf("%s  [%s]\n", line, s.Reason)
+	}
+	if nRestored > 0 {
+		fmt.Printf("  mean: detect->restore %v over %d restored episode(s)\n",
+			sumDegraded/sim.Time(nRestored), nRestored)
 	}
 }

@@ -138,7 +138,7 @@ func (a *Accel) recMFT(k obs.Kind, group simnet.Addr, aVal int64) {
 	if !tr.On() {
 		return
 	}
-	tr.Record(a.sw.Engine().Now(), k, obs.RNone, -1, uint8(simnet.MRP), 0, uint32(group), 0, aVal, 0)
+	tr.Record(a.sw.Engine().Now(), k, obs.RNone, -1, uint8(simnet.MRP), 0, uint32(group), 0, 0, 0, 0, aVal, 0)
 }
 
 // MFT returns the switch's table for a group, or nil.
@@ -181,7 +181,7 @@ func (a *Accel) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) boo
 			a.sw.Fabric().Inc(obs.FUnknownGroupDrops)
 			if tr := a.sw.Tracer(); tr.On() {
 				tr.Record(a.sw.Engine().Now(), obs.KDrop, obs.RUnknownGroup, in.ID,
-					uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.PSN, 0, int64(p.Size()))
+					uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.SrcQP, p.DstQP, p.PSN, p.MsgID, 0, int64(p.Size()))
 			}
 			a.nackUnknownGroup(p)
 		}

@@ -14,7 +14,7 @@ func BenchmarkRecord(b *testing.B) {
 	tr := r.NewTracer("bench", 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Record(sim.Time(i), KEnqueue, RNone, 3, 0, 0x0A000001, 0xE0000001, uint64(i), int64(i), 1024)
+		tr.Record(sim.Time(i), KEnqueue, RNone, 3, 0, 0x0A000001, 0xE0000001, 2, 5, uint64(i), uint64(i), int64(i), 1024)
 	}
 }
 
@@ -25,6 +25,6 @@ func BenchmarkRecordHot(b *testing.B) {
 	tr := r.NewTracer("bench", 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Record(sim.Time(i), KEnqueue, RNone, 3, 0, 0x0A000001, 0xE0000001, uint64(i), int64(i), 1024)
+		tr.Record(sim.Time(i), KEnqueue, RNone, 3, 0, 0x0A000001, 0xE0000001, 2, 5, uint64(i), uint64(i), int64(i), 1024)
 	}
 }

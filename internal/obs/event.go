@@ -50,13 +50,15 @@ const (
 	// endpoint.
 	KCNPTx
 	KCNPRx
-	// KRetransmit: the requester re-emitted a data packet. A = message id.
+	// KRetransmit: the requester re-emitted a data packet. Msg identifies
+	// the message, B = payload bytes.
 	KRetransmit
 	// KDeliver: the responder completed an in-order message (the packet
 	// carrying the last flag was accepted). A = the final packet's delivery
-	// latency in ns (from requester emission), B = message payload bytes.
-	// Per-packet latencies are aggregated in the always-on QP histograms;
-	// the trace records the application-visible delivery.
+	// latency in ns (from requester emission), B = message payload bytes,
+	// Msg = the message id. Per-packet latencies are aggregated in the
+	// always-on QP histograms; the trace records the application-visible
+	// delivery.
 	KDeliver
 	// KMFTInstall: an accelerator installed a new MFT. Dst = group,
 	// A = epoch.
@@ -73,6 +75,12 @@ const (
 	// KMFTNack: a switch rejected unknown-group data toward its source.
 	// Dst = group.
 	KMFTNack
+	// KPSNSync: recovery overwrote a QP's PSN state out of band (group-wide
+	// resynchronization, §III-E, or a source switch). SrcQP = the QP,
+	// PSN = the new value, A = 0 for the send side (SQ), 1 for the receive
+	// side (RQ). The auditor resets its per-flow expectations on this event:
+	// PSN jumps across recovery are sanctioned, silent ones are not.
+	KPSNSync
 
 	numKinds
 )
@@ -82,6 +90,7 @@ var kindNames = [...]string{
 	"ACK-TX", "ACK-RX", "NACK-TX", "NACK-RX", "CNP-TX", "CNP-RX",
 	"RETX", "DELIVER",
 	"MFT-INSTALL", "MFT-REBUILD", "MFT-WIPE", "MFT-STALE", "MFT-NACK",
+	"PSN-SYNC",
 }
 
 func (k Kind) String() string {
@@ -164,10 +173,51 @@ func PktTypeName(pt uint8) string {
 	return fmt.Sprintf("PT(%d)", pt)
 }
 
+// PktTypeByName resolves a packet-type name (as printed by PktTypeName).
+func PktTypeByName(s string) (uint8, bool) {
+	for i, n := range pktTypeNames {
+		if n == s {
+			return uint8(i), true
+		}
+	}
+	return 0, false
+}
+
 // AddrString renders a 32-bit address in dotted-quad form, identically to
 // simnet.Addr.String.
 func AddrString(a uint32) string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// ParseAddr inverts AddrString. It accepts exactly the dotted-quad form the
+// exports emit; anything else returns false.
+func ParseAddr(s string) (uint32, bool) {
+	var q [4]int
+	start, qi := 0, 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if qi == 4 || i == start {
+				return 0, false
+			}
+			v := 0
+			for _, c := range s[start:i] {
+				if c < '0' || c > '9' {
+					return 0, false
+				}
+				v = v*10 + int(c-'0')
+				if v > 255 {
+					return 0, false
+				}
+			}
+			q[qi] = v
+			qi++
+			start = i + 1
+		}
+	}
+	if qi != 4 {
+		return 0, false
+	}
+	return uint32(q[0])<<24 | uint32(q[1])<<16 | uint32(q[2])<<8 | uint32(q[3]), true
 }
 
 // Event is one flight-recorder record. It is a fixed-size, pointer-free
@@ -181,18 +231,30 @@ func AddrString(a uint32) string {
 // sequential-vs-partitioned execution. LP records which logical process
 // captured the event; it is an execution artifact and is deliberately
 // excluded from exports.
+// Msg identifies the message a data frame belongs to. Message ids are
+// globally unique — the originating host's address in the high 32 bits, a
+// per-host counter in the low 32 — so a span reconstructor can follow one
+// message across devices without guessing, and MsgOrigin recovers the
+// sender. SrcQP/DstQP carry the frame's queue-pair addressing; control
+// frames built fresh (ACK/NACK/CNP) carry Msg = 0.
 type Event struct {
 	At     sim.Time
 	Seq    uint64
 	PSN    uint64
+	Msg    uint64
 	A      int64
 	B      int64
 	Dev    uint32
 	Src    uint32
 	Dst    uint32
+	SrcQP  uint32
+	DstQP  uint32
 	Port   int16
 	LP     int16
 	Kind   Kind
 	Reason Reason
 	PT     uint8 // simnet.PacketType of the frame involved, if any
 }
+
+// MsgOrigin extracts the originating host address from a message id.
+func MsgOrigin(msg uint64) uint32 { return uint32(msg >> 32) }

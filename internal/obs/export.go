@@ -13,7 +13,8 @@ import (
 // cmd/cepheus-trace — can decode records without schema negotiation:
 //
 //	{"t":<ns>,"dev":"<name>","port":<id>,"kind":"<Kind>","reason":"<Reason>",
-//	 "pt":"<PacketType>","src":"<addr>","dst":"<addr>","psn":<n>,"a":<n>,"b":<n>}
+//	 "pt":"<PacketType>","src":"<addr>","dst":"<addr>","sqp":<n>,"dqp":<n>,
+//	 "psn":<n>,"msg":<n>,"a":<n>,"b":<n>}
 //
 // LP and Seq are deliberately omitted: LP is an execution artifact and Seq
 // is recoverable from line order, so exports from sequential and partitioned
@@ -23,9 +24,9 @@ func (r *Recorder) WriteJSONL(w io.Writer, evs []Event) error {
 	for i := range evs {
 		e := &evs[i]
 		_, err := fmt.Fprintf(bw,
-			"{\"t\":%d,\"dev\":%q,\"port\":%d,\"kind\":%q,\"reason\":%q,\"pt\":%q,\"src\":%q,\"dst\":%q,\"psn\":%d,\"a\":%d,\"b\":%d}\n",
+			"{\"t\":%d,\"dev\":%q,\"port\":%d,\"kind\":%q,\"reason\":%q,\"pt\":%q,\"src\":%q,\"dst\":%q,\"sqp\":%d,\"dqp\":%d,\"psn\":%d,\"msg\":%d,\"a\":%d,\"b\":%d}\n",
 			int64(e.At), r.DevName(e.Dev), e.Port, e.Kind.String(), e.Reason.String(),
-			PktTypeName(e.PT), AddrString(e.Src), AddrString(e.Dst), e.PSN, e.A, e.B)
+			PktTypeName(e.PT), AddrString(e.Src), AddrString(e.Dst), e.SrcQP, e.DstQP, e.PSN, e.Msg, e.A, e.B)
 		if err != nil {
 			return err
 		}
@@ -50,6 +51,9 @@ func (r *Recorder) WriteText(w io.Writer, evs []Event) error {
 		}
 		if e.Src != 0 || e.Dst != 0 {
 			line += fmt.Sprintf(" %s %s > %s psn=%d", PktTypeName(e.PT), AddrString(e.Src), AddrString(e.Dst), e.PSN)
+		}
+		if e.Msg != 0 {
+			line += fmt.Sprintf(" msg=%d", e.Msg)
 		}
 		line += fmt.Sprintf(" a=%d b=%d", e.A, e.B)
 		if _, err := fmt.Fprintln(bw, line); err != nil {

@@ -30,6 +30,20 @@ const (
 	NumFCounters
 )
 
+var fcounterNames = [...]string{
+	"data-drops", "ctrl-drops", "crash-drops", "no-route-drops", "fault-drops",
+	"mft-wipes", "epoch-rebuilds", "stale-mrp", "unknown-group-drops",
+	"unknown-group-nacks",
+}
+
+// String names the counter (stable identifiers for exports and series).
+func (c FCounter) String() string {
+	if int(c) < len(fcounterNames) {
+		return fcounterNames[c]
+	}
+	return "?"
+}
+
 // FabricLP is one logical process's shard of the fabric counters. Every
 // device owned by an LP increments the same shard, so the hot path is a
 // plain (non-atomic) add with no cross-LP cache contention; totals are read

@@ -1,0 +1,103 @@
+package obs
+
+import "testing"
+
+// Edge cases the main quantile/merge tests don't reach.
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram q=%v = %d, want 0", q, got)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.Mean != 0 || s.Min != 0 || s.Max != 0 || s.P999 != 0 {
+		t.Fatalf("empty summary not all-zero: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary must still render")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(12345)
+	for _, q := range []float64{0.001, 0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 12345 {
+			t.Fatalf("single-sample q=%v = %d, want the sample itself", q, got)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 1 || s.Mean != 12345 || s.Min != 12345 || s.Max != 12345 {
+		t.Fatalf("single-sample summary: %+v", s)
+	}
+}
+
+// TestHistogramOverflowBucketP999 drives values into the top octaves (beyond
+// 2^60) and checks the quantiles stay clamped to the true observed range
+// rather than reporting a bucket upper bound past max.
+func TestHistogramOverflowBucketP999(t *testing.T) {
+	var h Histogram
+	const big = int64(1) << 62
+	for i := 0; i < 999; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(big)
+	s := h.Summary()
+	if s.Max != big {
+		t.Fatalf("max = %d, want %d", s.Max, big)
+	}
+	if s.P999 > big {
+		t.Fatalf("p999 %d exceeds the observed max %d", s.P999, big)
+	}
+	// Quantiles report bucket upper bounds: within the 1/2^histSubBits
+	// relative error of the true 1000.
+	if s.P50 < 1000 || s.P50 > 1000+1000/histSub {
+		t.Fatalf("p50 = %d, want 1000 within bucket error", s.P50)
+	}
+	// A histogram of only huge values must clamp every quantile to [min, max].
+	var g Histogram
+	g.Observe(big)
+	g.Observe(big + 1)
+	if q := g.Quantile(0.999); q < big || q > big+1 {
+		t.Fatalf("overflow-bucket q999 = %d outside [%d, %d]", q, big, big+1)
+	}
+}
+
+func TestHistogramMergeDisjointShards(t *testing.T) {
+	// Two shards with disjoint value ranges, as per-LP latency shards are.
+	var lo, hi, merged Histogram
+	for i := int64(1); i <= 100; i++ {
+		lo.Observe(i)
+		merged.Observe(i)
+	}
+	for i := int64(1 << 20); i < 1<<20+100; i++ {
+		hi.Observe(i)
+		merged.Observe(i)
+	}
+	var a Histogram
+	a.Merge(&lo)
+	a.Merge(&hi)
+	// Merge in the opposite order: must be identical (commutative).
+	var b Histogram
+	b.Merge(&hi)
+	b.Merge(&lo)
+	if a != b {
+		t.Fatal("merge is not commutative")
+	}
+	if a.Summary() != merged.Summary() {
+		t.Fatalf("merged summary %+v differs from combined-stream summary %+v", a.Summary(), merged.Summary())
+	}
+	if a.Count() != 200 || a.Summary().Min != 1 || a.Summary().Max != 1<<20+99 {
+		t.Fatalf("merged bounds wrong: %+v", a.Summary())
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := a
+	a.Merge(nil)
+	var empty Histogram
+	a.Merge(&empty)
+	if a != before {
+		t.Fatal("nil/empty merge changed the histogram")
+	}
+}

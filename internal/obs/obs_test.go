@@ -128,11 +128,11 @@ func TestRecorderCanonicalOrder(t *testing.T) {
 	// Register in a fixed order; record interleaved across LPs.
 	t0 := r.NewTracer("s0", 0)
 	t1 := r.NewTracer("h0", 1)
-	t1.Record(20, KDeliver, RNone, -1, 0, 1, 2, 5, 100, 64)
-	t0.Record(10, KEnqueue, RNone, 0, 0, 1, 2, 5, 64, 64)
-	t0.Record(20, KDequeue, RNone, 0, 0, 1, 2, 5, 0, 64)
+	t1.Record(20, KDeliver, RNone, -1, 0, 1, 2, 0, 0, 5, 9, 100, 64)
+	t0.Record(10, KEnqueue, RNone, 0, 0, 1, 2, 0, 0, 5, 9, 64, 64)
+	t0.Record(20, KDequeue, RNone, 0, 0, 1, 2, 0, 0, 5, 9, 0, 64)
 	r.Barrier()
-	t1.Record(5, KDrop, RLoss, -1, 0, 1, 2, 6, 0, 64) // later barrier, earlier time
+	t1.Record(5, KDrop, RLoss, -1, 0, 1, 2, 0, 0, 6, 9, 0, 64) // later barrier, earlier time
 	evs := r.Events()
 	if len(evs) != 4 {
 		t.Fatalf("got %d events, want 4", len(evs))
@@ -160,7 +160,7 @@ func TestRecorderRingOverwrite(t *testing.T) {
 	tr := r.NewTracer("d", 0)
 	const total = 3000
 	for i := 0; i < total; i++ {
-		tr.Record(sim.Time(i), KEnqueue, RNone, 0, 0, 0, 0, 0, int64(i), 0)
+		tr.Record(sim.Time(i), KEnqueue, RNone, 0, 0, 0, 0, 0, 0, 0, 0, int64(i), 0)
 	}
 	evs := r.Events()
 	if len(evs) != 1024 {
@@ -179,7 +179,7 @@ func TestRecorderEventsUntil(t *testing.T) {
 	r := NewRecorder(1, 1<<12)
 	tr := r.NewTracer("d", 0)
 	for i := 0; i < 10; i++ {
-		tr.Record(sim.Time(i*10), KEnqueue, RNone, 0, 0, 0, 0, 0, 0, 0)
+		tr.Record(sim.Time(i*10), KEnqueue, RNone, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
 	}
 	if got := len(r.EventsUntil(45)); got != 5 {
 		t.Fatalf("EventsUntil(45) kept %d, want 5", got)
@@ -190,7 +190,7 @@ func TestRecordZeroAlloc(t *testing.T) {
 	r := NewRecorder(1, 1<<12)
 	tr := r.NewTracer("d", 0)
 	allocs := testing.AllocsPerRun(1000, func() {
-		tr.Record(1, KEnqueue, RNone, 0, 0, 1, 2, 3, 4, 5)
+		tr.Record(1, KEnqueue, RNone, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8)
 	})
 	if allocs != 0 {
 		t.Fatalf("Record allocates %v per op, want 0", allocs)
@@ -205,14 +205,14 @@ func TestRecordZeroAlloc(t *testing.T) {
 func TestExportFormats(t *testing.T) {
 	r := NewRecorder(1, 1<<12)
 	tr := r.NewTracer("s3", 0)
-	tr.Record(1500, KDrop, RQueueLimit, 2, 0, 0x0A000001, 0xE0000003, 42, 81920, 1064)
+	tr.Record(1500, KDrop, RQueueLimit, 2, 0, 0x0A000001, 0xE0000003, 3, 1, 42, 7, 81920, 1064)
 	evs := r.Events()
 
 	var j bytes.Buffer
 	if err := r.WriteJSONL(&j, evs); err != nil {
 		t.Fatal(err)
 	}
-	want := `{"t":1500,"dev":"s3","port":2,"kind":"DROP","reason":"qlimit","pt":"DATA","src":"10.0.0.1","dst":"224.0.0.3","psn":42,"a":81920,"b":1064}` + "\n"
+	want := `{"t":1500,"dev":"s3","port":2,"kind":"DROP","reason":"qlimit","pt":"DATA","src":"10.0.0.1","dst":"224.0.0.3","sqp":3,"dqp":1,"psn":42,"msg":7,"a":81920,"b":1064}` + "\n"
 	if j.String() != want {
 		t.Fatalf("JSONL:\n got %q\nwant %q", j.String(), want)
 	}
@@ -221,7 +221,7 @@ func TestExportFormats(t *testing.T) {
 	if err := r.WriteText(&x, evs); err != nil {
 		t.Fatal(err)
 	}
-	for _, frag := range []string{"s3:2", "DROP", "[qlimit]", "10.0.0.1", "224.0.0.3", "psn=42"} {
+	for _, frag := range []string{"s3:2", "DROP", "[qlimit]", "10.0.0.1", "224.0.0.3", "psn=42", "msg=7"} {
 		if !strings.Contains(x.String(), frag) {
 			t.Fatalf("text export missing %q: %q", frag, x.String())
 		}
@@ -254,7 +254,7 @@ func BenchmarkTracerRecord(b *testing.B) {
 	tr := r.NewTracer("d", 0)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tr.Record(sim.Time(i), KEnqueue, RNone, 0, 0, 1, 2, uint64(i), 64, 64)
+		tr.Record(sim.Time(i), KEnqueue, RNone, 0, 0, 1, 2, 3, 4, uint64(i), uint64(i), 64, 64)
 	}
 }
 

@@ -60,15 +60,18 @@ func (t *Tracer) On() bool { return t != nil }
 // that reason). port is the device-local port id (-1 when not port-scoped),
 // pt the simnet.PacketType of the frame involved (0/DATA when none). Dev and
 // LP are stamped here, Seq at the next barrier drain.
-func (t *Tracer) Record(at sim.Time, k Kind, reason Reason, port int, pt uint8, src, dst uint32, psn uint64, a, b int64) {
+func (t *Tracer) Record(at sim.Time, k Kind, reason Reason, port int, pt uint8, src, dst, srcQP, dstQP uint32, psn, msg uint64, a, b int64) {
 	e := t.sh.slot()
 	e.At = at
 	e.PSN = psn
+	e.Msg = msg
 	e.A = a
 	e.B = b
 	e.Dev = t.dev
 	e.Src = src
 	e.Dst = dst
+	e.SrcQP = srcQP
+	e.DstQP = dstQP
 	e.Port = int16(port)
 	e.LP = t.sh.lp
 	e.Kind = k
@@ -96,6 +99,8 @@ type Recorder struct {
 	clost   uint64
 
 	scratch []Event
+
+	observer func(*Event)
 }
 
 // NewRecorder creates a recorder for nLP logical processes with a central
@@ -191,16 +196,42 @@ func (r *Recorder) Barrier() {
 		}
 		return a.LP < b.LP
 	})
+	if r.observer != nil {
+		for i := range r.scratch {
+			r.observer(&r.scratch[i])
+		}
+	}
 	for i := range r.scratch {
 		r.pushCentral(&r.scratch[i])
 	}
 }
+
+// Attach registers fn to observe every event as it drains through Barrier,
+// after the deterministic (time, lp, ring order) sort and before central-ring
+// eviction can lose it. Because barriers only move the drain *boundaries* —
+// never the order of any device's events, which is its own record order —
+// a per-device streaming consumer (the invariant auditor) sees an identical
+// per-device history under every worker count and barrier cadence. The
+// pointer is valid only for the duration of the call; copy to retain.
+func (r *Recorder) Attach(fn func(*Event)) { r.observer = fn }
 
 // Lost returns how many events were overwritten before export (shard
 // overflow between barriers plus central-ring eviction). A flight recorder
 // with Lost() == 0 captured the complete history.
 func (r *Recorder) Lost() uint64 {
 	t := r.clost
+	for _, s := range r.shards {
+		t += s.lost
+	}
+	return t
+}
+
+// ShardLost returns how many events were overwritten in per-LP shards before
+// a barrier drained them — events an attached observer never saw. Central-
+// ring eviction (the rest of Lost) happens after observers run, so ShardLost
+// is the auditor's true coverage gap even when the ring forgot old history.
+func (r *Recorder) ShardLost() uint64 {
+	var t uint64
 	for _, s := range r.shards {
 		t += s.lost
 	}

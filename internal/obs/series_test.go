@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSeriesSampling(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSeriesSet(eng, 10, 0)
+	var counter float64
+	s.Track("now", func() float64 { return float64(eng.Now()) })
+	s.TrackDelta("delta", func() float64 { return counter })
+	// The counter grows by 3 between every pair of samples.
+	var bump func()
+	bump = func() {
+		counter += 3
+		eng.Schedule(eng.Now()+10, bump)
+	}
+	eng.Schedule(5, bump)
+	s.Start()
+	eng.RunUntil(55)
+
+	if s.Samples() != 5 {
+		t.Fatalf("got %d samples, want 5", s.Samples())
+	}
+	now := s.Values("now")
+	for i, want := range []float64{10, 20, 30, 40, 50} {
+		if now[i] != want {
+			t.Fatalf("now[%d] = %v, want %v", i, now[i], want)
+		}
+	}
+	for i, d := range s.Values("delta") {
+		if d != 3 {
+			t.Fatalf("delta[%d] = %v, want 3", i, d)
+		}
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "now" || got[1] != "delta" {
+		t.Fatalf("names = %v", got)
+	}
+
+	s.Stop()
+	eng.RunUntil(200)
+	if s.Samples() != 5 {
+		t.Fatalf("sampler kept ticking after Stop: %d samples", s.Samples())
+	}
+}
+
+func TestSeriesDecimation(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSeriesSet(eng, 10, 16)
+	s.Track("now", func() float64 { return float64(eng.Now()) })
+	s.Start()
+	eng.RunUntil(165) // 16 ticks -> fills capacity -> decimate to 8, interval 20
+	if s.Samples() != 8 || s.Interval() != 20 {
+		t.Fatalf("after first fill: %d samples, interval %d (want 8, 20)", s.Samples(), s.Interval())
+	}
+	ts := s.Times()
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("time axis not increasing after decimation: %v", ts)
+		}
+	}
+	// Surviving samples are the even-indexed originals: 10, 30, 50, ...
+	if ts[0] != 10 || ts[1] != 30 {
+		t.Fatalf("decimation kept wrong samples: %v", ts)
+	}
+	eng.RunUntil(2000)
+	if s.Samples() >= 16 {
+		t.Fatalf("series exceeded capacity: %d", s.Samples())
+	}
+}
+
+func TestSeriesExports(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSeriesSet(eng, 10, 0)
+	s.Track("a", func() float64 { return 1.5 })
+	s.Track("b", func() float64 { return float64(eng.Now()) })
+	s.Start()
+	eng.RunUntil(35)
+
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if lines[0] != "t_ns,a,b" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) != 1+3 {
+		t.Fatalf("csv has %d rows, want 4:\n%s", len(lines), csv.String())
+	}
+	if lines[1] != "10,1.5,10" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+
+	var js bytes.Buffer
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	out := js.String()
+	for _, want := range []string{`"interval_ns":10`, `"t":[10,20,30]`, `"a":[1.5,1.5,1.5]`, `"b":[10,20,30]`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("json missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesTrackAfterSamplingPanics(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSeriesSet(eng, 10, 0)
+	s.Track("a", func() float64 { return 0 })
+	s.Start()
+	eng.RunUntil(15)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Track after sampling must panic")
+		}
+	}()
+	s.Track("late", func() float64 { return 0 })
+}

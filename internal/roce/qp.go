@@ -151,10 +151,24 @@ func (qp *QP) SetSqPSN(psn uint64) {
 		panic("roce: SetSqPSN with in-flight messages")
 	}
 	qp.tail, qp.sndUna, qp.sndNxt, qp.maxSent = psn, psn, psn, psn
+	qp.recPSNSync(psn, 0)
 }
 
 // SetRqPSN overwrites the responder's expected PSN (see SetSqPSN).
-func (qp *QP) SetRqPSN(psn uint64) { qp.rqPSN = psn }
+func (qp *QP) SetRqPSN(psn uint64) {
+	qp.rqPSN = psn
+	qp.recPSNSync(psn, 1)
+}
+
+// recPSNSync traces an out-of-band PSN overwrite (side 0 = SQ, 1 = RQ) so
+// streaming consumers can reset per-flow expectations instead of flagging
+// the sanctioned jump as a protocol violation.
+func (qp *QP) recPSNSync(psn uint64, side int64) {
+	if qp.nic.tr.On() {
+		qp.nic.tr.Record(qp.eng.Now(), obs.KPSNSync, obs.RNone, -1, uint8(simnet.Data),
+			uint32(qp.nic.Host.IP), 0, qp.QPN, 0, psn, 0, side, 0)
+	}
+}
 
 // Flush aborts everything in flight on the QP, in both roles: posted WQEs
 // are dropped without completions, pending retransmissions and the RTO are
@@ -332,7 +346,7 @@ func (qp *QP) emit() {
 	if p.Retrans {
 		qp.nic.Stats.Retransmits++
 		if qp.nic.tr.On() {
-			qp.nic.rec(obs.KRetransmit, p, int64(w.MsgID), int64(payload))
+			qp.nic.rec(obs.KRetransmit, p, 0, int64(payload))
 		}
 	}
 	p.Stamp = qp.eng.Now()
@@ -569,7 +583,8 @@ func (qp *QP) ingest(payload int, last bool, msgID uint64, va uint64, rkey uint3
 		// volume while repeating what LatHist already aggregates.
 		if last && qp.nic.tr.On() {
 			qp.nic.tr.Record(qp.eng.Now(), obs.KDeliver, obs.RNone, -1, uint8(simnet.Data),
-				uint32(ref.Src), uint32(qp.nic.Host.IP), qp.rqPSN, lat, int64(qp.curBytes+payload))
+				uint32(ref.Src), uint32(qp.nic.Host.IP), ref.SrcQP, qp.QPN, qp.rqPSN, msgID,
+				lat, int64(qp.curBytes+payload))
 		}
 	}
 	qp.rqPSN++

@@ -2,6 +2,7 @@ package roce
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -61,7 +62,20 @@ func (r *RNIC) SetTracer(tr *obs.Tracer) { r.tr = tr }
 // rec captures one transport event against packet p; callers guard with
 // r.tr.On().
 func (r *RNIC) rec(k obs.Kind, p *simnet.Packet, a, b int64) {
-	r.tr.Record(r.eng.Now(), k, obs.RNone, -1, uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.PSN, a, b)
+	r.tr.Record(r.eng.Now(), k, obs.RNone, -1, uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.SrcQP, p.DstQP, p.PSN, p.MsgID, a, b)
+}
+
+// EachQP calls fn for every QP on the NIC in ascending QPN order (a
+// deterministic iteration over the otherwise unordered map).
+func (r *RNIC) EachQP(fn func(*QP)) {
+	ids := make([]uint32, 0, len(r.qps))
+	for id := range r.qps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fn(r.qps[id])
+	}
 }
 
 // MergeDeliveryLatency folds every QP's delivery-latency histogram into h.
@@ -75,7 +89,13 @@ func (r *RNIC) MergeDeliveryLatency(h *obs.Histogram) {
 // NewRNIC attaches a RoCE engine to a host and installs itself as the
 // host's packet handler.
 func NewRNIC(h *simnet.Host, cfg Config) *RNIC {
-	r := &RNIC{Host: h, Cfg: cfg, eng: h.Engine(), qps: make(map[uint32]*QP), nextQPN: 2}
+	// Message ids are namespaced by host address (high 32 bits) so they are
+	// globally unique: span reconstruction can follow one message across the
+	// fabric, and the originator is recoverable as msg>>32. The values are
+	// behaviorally opaque — only equality matters to the protocol — so this
+	// changes no simulated outcome.
+	r := &RNIC{Host: h, Cfg: cfg, eng: h.Engine(), qps: make(map[uint32]*QP),
+		nextQPN: 2, nextMsg: uint64(uint32(h.IP)) << 32}
 	h.Handler = r.receive
 	// NIC backpressure: QPs stop injecting when the egress queue holds a
 	// few packets (or the link is PFC-paused) and resume as it drains,

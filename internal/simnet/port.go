@@ -110,7 +110,7 @@ func (pt *Port) SetFabric(fab *obs.FabricLP) { pt.fab = fab }
 // have it at hand) keep this wrapper within the inlining budget — recording a
 // traced event then costs one call, not two.
 func (pt *Port) rec(k obs.Kind, r obs.Reason, p *Packet, a, size int64) {
-	pt.tr.Record(pt.eng.Now(), k, r, pt.ID, uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.PSN, a, size)
+	pt.tr.Record(pt.eng.Now(), k, r, pt.ID, uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.SrcQP, p.DstQP, p.PSN, p.MsgID, a, size)
 }
 
 // txDoneHandler fires when a frame finishes serializing: the link is free for
@@ -469,7 +469,7 @@ func (pt *Port) setPaused(v bool) {
 		if v {
 			k = obs.KPFCPause
 		}
-		pt.tr.Record(pt.eng.Now(), k, obs.RNone, pt.ID, 0, 0, 0, 0, int64(pt.qBytes), 0)
+		pt.tr.Record(pt.eng.Now(), k, obs.RNone, pt.ID, 0, 0, 0, 0, 0, 0, 0, int64(pt.qBytes), 0)
 	}
 	pt.paused = v
 	if !v {

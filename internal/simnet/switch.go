@@ -147,7 +147,7 @@ func (sw *Switch) Fabric() *obs.FabricLP { return sw.fab }
 
 // recDrop captures a switch-level drop; callers guard with sw.tr.On().
 func (sw *Switch) recDrop(r obs.Reason, p *Packet, port int) {
-	sw.tr.Record(sw.eng.Now(), obs.KDrop, r, port, uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.PSN, 0, int64(p.Size()))
+	sw.tr.Record(sw.eng.Now(), obs.KDrop, r, port, uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.SrcQP, p.DstQP, p.PSN, p.MsgID, 0, int64(p.Size()))
 }
 
 // NewSwitch creates a switch with no ports.

@@ -1,10 +1,12 @@
 package cepheus
 
 import (
+	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/roce"
 	"repro/internal/sim"
 )
 
@@ -52,6 +54,136 @@ func (c *Cluster) EnableTrace(capacity int) *obs.Recorder {
 	}
 	c.Rec = rec
 	return rec
+}
+
+// auditDrainInterval is how often a sequential cluster drains recorder
+// shards through the auditor. Parallel clusters drain at every window
+// barrier already; sequential ones drain lazily at export, which would let
+// a long run overflow its shard before the auditor ever saw an event.
+const auditDrainInterval = sim.Millisecond
+
+// EnableAudit attaches the online protocol auditor to the flight recorder
+// (enabling tracing if needed) and returns it. The auditor verifies PSN/ACK
+// sanity, delivery uniqueness, per-port byte conservation, and MFT epoch
+// monotonicity, streaming, as events drain — identically under every worker
+// count. Call it before the traffic of interest; events drained before the
+// auditor attaches are not audited.
+//
+// The go-back-N window bound is taken from the cluster's RoCE configuration.
+func (c *Cluster) EnableAudit() *obs.Auditor {
+	if c.Aud != nil {
+		return c.Aud
+	}
+	rec := c.EnableTrace(0)
+	cfg := obs.AuditConfig{}
+	if len(c.RNICs) > 0 {
+		cfg.WindowPkts = c.RNICs[0].Cfg.WindowPkts
+	}
+	aud := obs.NewAuditor(cfg)
+	rec.Attach(aud.Observe)
+	if c.Par == nil {
+		var drain *sim.Timer
+		drain = c.Eng.NewTimer(func() {
+			rec.Barrier()
+			drain.Reset(auditDrainInterval)
+		})
+		drain.Reset(auditDrainInterval)
+	}
+	c.Aud = aud
+	return aud
+}
+
+// EnableSeries starts the periodic telemetry sampler and returns it, wired
+// with the cluster-wide defaults: aggregate and maximum egress queue depth,
+// and per-interval deltas of every fabric counter. Callers add more probes
+// (TrackPortDepths, TrackQPRates, or custom closures) before traffic starts.
+// interval 0 selects 100µs; capacity 0 selects 4096 samples (the set
+// decimates and doubles its interval when full).
+//
+// Sampling requires sequential execution: probes read live device state,
+// which under PDES would race with worker goroutines. Partitioned runs
+// should sample offline from the trace instead.
+func (c *Cluster) EnableSeries(interval sim.Time, capacity int) (*obs.SeriesSet, error) {
+	if c.Series != nil {
+		return c.Series, nil
+	}
+	if c.Par != nil {
+		return nil, fmt.Errorf("cepheus: EnableSeries requires sequential execution (Workers <= 1)")
+	}
+	if interval <= 0 {
+		interval = 100 * sim.Microsecond
+	}
+	s := obs.NewSeriesSet(c.Eng, interval, capacity)
+	s.Track("qdepth/total", func() float64 {
+		var t int64
+		for _, sw := range c.Net.Switches {
+			for _, pt := range sw.Ports {
+				t += int64(pt.QueuedBytes())
+			}
+		}
+		for _, h := range c.Net.Hosts {
+			t += int64(h.NIC.QueuedBytes())
+		}
+		return float64(t)
+	})
+	s.Track("qdepth/max", func() float64 {
+		var m int64
+		for _, sw := range c.Net.Switches {
+			for _, pt := range sw.Ports {
+				if d := int64(pt.QueuedBytes()); d > m {
+					m = d
+				}
+			}
+		}
+		for _, h := range c.Net.Hosts {
+			if d := int64(h.NIC.QueuedBytes()); d > m {
+				m = d
+			}
+		}
+		return float64(m)
+	})
+	for fc := obs.FCounter(0); fc < obs.NumFCounters; fc++ {
+		fc := fc
+		s.TrackDelta("fab/"+fc.String(), func() float64 {
+			return float64(c.Fab.Total(fc))
+		})
+	}
+	c.Series = s
+	return s, nil
+}
+
+// TrackPortDepths adds one queue-depth series per switch egress port
+// ("q/<switch>:<port>") and per host NIC ("q/<host>") to s. Call before
+// Start; intended for testbed/fat-tree scales where per-port series are
+// still plottable.
+func (c *Cluster) TrackPortDepths(s *obs.SeriesSet) {
+	for _, sw := range c.Net.Switches {
+		for _, pt := range sw.Ports {
+			pt := pt
+			s.Track(fmt.Sprintf("q/%s:%d", sw.Name, pt.ID), func() float64 {
+				return float64(pt.QueuedBytes())
+			})
+		}
+	}
+	for _, h := range c.Net.Hosts {
+		nic := h.NIC
+		s.Track("q/"+h.Name, func() float64 { return float64(nic.QueuedBytes()) })
+	}
+}
+
+// TrackQPRates adds one DCQCN-rate series per existing QP
+// ("rate/<host>/qp<N>", in Gbit/s) to s. Only QPs alive at call time are
+// tracked — set groups up first; QPs created later (recovery fallbacks) are
+// not retroactively added.
+func (c *Cluster) TrackQPRates(s *obs.SeriesSet) {
+	for i, r := range c.RNICs {
+		host := c.Net.Hosts[i].Name
+		r.EachQP(func(qp *roce.QP) {
+			s.Track(fmt.Sprintf("rate/%s/qp%d", host, qp.QPN), func() float64 {
+				return qp.Rate() / 1e9
+			})
+		})
+	}
 }
 
 // WriteTrace exports the recorded history to w: JSONL when jsonl is true,

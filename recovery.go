@@ -81,6 +81,26 @@ type RecoveryStats struct {
 	CorruptDeliveries uint64 // deliveries whose size != the posted transfer
 }
 
+// RecoverySpan is one degrade episode, detection → first AMcast fallback →
+// native restore. FirstFallbackAt and RestoreAt are negative until the
+// corresponding transition happens (a span with RestoreAt < 0 is still
+// degraded at the end of the run).
+type RecoverySpan struct {
+	Reason          string
+	DetectAt        sim.Time
+	FirstFallbackAt sim.Time
+	RestoreAt       sim.Time
+}
+
+// Degraded returns how long the episode stayed off native multicast, or -1
+// while still degraded.
+func (s *RecoverySpan) Degraded() sim.Time {
+	if s.RestoreAt < 0 {
+		return -1
+	}
+	return s.RestoreAt - s.DetectAt
+}
+
 // ResilientGroup wraps a Cepheus multicast group with the end-to-end
 // recovery pipeline: a throughput safeguard and fabric invalidations detect
 // faults; on degrade the group flushes in-flight native state, repairs
@@ -110,8 +130,14 @@ type ResilientGroup struct {
 	reprobe *sim.Timer
 	probing bool // a re-registration is in flight
 
+	spans []RecoverySpan
+
 	bc *bcastState
 }
+
+// RecoverySpans returns every degrade episode so far, in order (the last
+// entry has RestoreAt < 0 if the group is still degraded).
+func (r *ResilientGroup) RecoverySpans() []RecoverySpan { return r.spans }
 
 // bcastState is one in-progress reliable broadcast.
 type bcastState struct {
@@ -281,6 +307,9 @@ func (r *ResilientGroup) degrade(reason string) {
 	}
 	r.fallback = true
 	r.Stats.SchemeSwitches++
+	r.spans = append(r.spans, RecoverySpan{
+		Reason: reason, DetectAt: r.c.Eng.Now(), FirstFallbackAt: -1, RestoreAt: -1,
+	})
 	r.event("degrade: " + reason)
 	r.safeguard.Stop()
 	// Abort native in-flight state everywhere so no half-delivered multicast
@@ -320,6 +349,9 @@ func (r *ResilientGroup) fallbackSend() {
 		}
 		bc.inflight[i] = true
 		r.Stats.FallbackDeliveries++ // counted at post; delivery is reliable RC
+		if n := len(r.spans); n > 0 && r.spans[n-1].FirstFallbackAt < 0 {
+			r.spans[n-1].FirstFallbackAt = r.c.Eng.Now()
+		}
 		r.fallbackQP(bc.root, i).PostSend(bc.size, nil)
 	}
 }
@@ -400,6 +432,9 @@ func (r *ResilientGroup) restore() {
 	r.consec = 0
 	r.Stats.Restores++
 	r.Stats.SchemeSwitches++
+	if n := len(r.spans); n > 0 {
+		r.spans[n-1].RestoreAt = r.c.Eng.Now()
+	}
 	if r.reprobe != nil {
 		r.reprobe.Stop()
 	}
