@@ -114,11 +114,13 @@ func TestAuditCleanChaos(t *testing.T) {
 				}
 			}
 			const horizon = 20 * sim.Millisecond
-			in.Chaos(fault.ChaosConfig{
+			if _, err := in.Chaos(fault.ChaosConfig{
 				Seed: seed, Horizon: horizon, Events: 4,
 				MinDowntime: 2 * sim.Millisecond, MaxDowntime: 6 * sim.Millisecond,
 				Links: links, Switches: c.Net.Switches[2:], FlapFraction: 0.25,
-			})
+			}); err != nil {
+				t.Fatal(err)
+			}
 			minRuntime := c.Eng.Now() + horizon + 8*sim.Millisecond
 			for i := 0; i < 2 || c.Eng.Now() < minRuntime; i++ {
 				start := c.Eng.Now()

@@ -1,23 +1,29 @@
-// faultsim runs scripted and seeded fail-stop fault scenarios against the
-// Cepheus recovery pipeline and prints the timeline: fault transitions,
-// scheme switches (native multicast → AMcast fallback → restored native),
-// and the fabric/recovery counters the run ends with. Every run is
-// deterministic in its seed.
+// faultsim runs scripted and seeded fault scenarios against the Cepheus
+// recovery pipeline and prints the timeline: fault transitions, scheme
+// switches (native multicast → AMcast fallback → restored native), and the
+// fabric/recovery counters the run ends with. Every run is deterministic in
+// its seed.
 //
 // Usage:
 //
 //	faultsim                          # ToR crash mid-broadcast on the testbed
 //	faultsim -scenario linkdown       # ToR→host access link dies mid-broadcast
-//	faultsim -scenario chaos -events 8 -seed 3   # seeded storm on a leaf-spine
+//	faultsim -scenario chaos -events 8 -seed 3   # seeded fail-stop storm
+//	faultsim -soak -episodes 24 -bench BENCH_pr6.json   # gray+fail-stop SLO soak
+//	faultsim -soak -workers 4         # gray-only soak, partitioned (digest mode)
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	cepheus "repro"
 	"repro/internal/fault"
+	"repro/internal/roce"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -25,17 +31,29 @@ import (
 var (
 	scenario = flag.String("scenario", "crash", "crash|linkdown|chaos")
 	seed     = flag.Int64("seed", 1, "simulation seed")
-	size     = flag.Int("size", 64<<20, "bytes per broadcast")
+	size     = flag.Int("size", 64<<20, "bytes per broadcast (soak default: 1MiB)")
 	bcasts   = flag.Int("bcasts", 4, "broadcasts to complete")
 	events   = flag.Int("events", 6, "chaos: fault episodes to inject")
-	horizon  = flag.Duration("horizon", 0, "chaos: injection window (0: auto)")
+	horizon  = flag.Duration("horizon", 0, "chaos/soak: injection window (0: auto)")
 	trace    = flag.String("trace", "", "write a flight-recorder trace (JSONL) to this file")
 	tracecap = flag.Int("tracecap", 0, "flight-recorder capacity in events (0: default)")
-	audit    = flag.Bool("audit", false, "run the online protocol auditor across the chaos; violations fail the run")
+	audit    = flag.Bool("audit", false, "run the online protocol auditor; violations fail the run")
+	soak     = flag.Bool("soak", false, "run the recovery-SLO soak (composed fail-stop + gray episodes)")
+	episodes = flag.Int("episodes", 24, "soak: episodes to inject")
+	workers  = flag.Int("workers", 0, "soak: PDES worker count for the gray-only digest mode (0: sequential composed soak)")
+	bench    = flag.String("bench", "", "soak: write the per-episode SLO report as a JSON benchmark file")
 )
 
 func main() {
 	flag.Parse()
+	if *soak {
+		if *workers > 0 {
+			runSoakPDES()
+		} else {
+			runSoak()
+		}
+		return
+	}
 	switch *scenario {
 	case "crash":
 		run(cepheus.NewTestbed(4, cepheus.Options{Seed: *seed}), func(c *cepheus.Cluster, in *fault.Injector) sim.Time {
@@ -58,23 +76,19 @@ func main() {
 	case "chaos":
 		run(cepheus.NewLeafSpine(2, 2, 4, cepheus.Options{Seed: *seed}), func(c *cepheus.Cluster, in *fault.Injector) sim.Time {
 			// Storm the fabric: leaf↔spine links and the spines themselves.
-			var links []*simnet.Port
-			for _, sw := range c.Net.Switches[:2] {
-				for _, pt := range sw.Ports {
-					if _, ok := pt.Peer.Dev.(*simnet.Switch); ok {
-						links = append(links, pt)
-					}
-				}
-			}
 			h := sim.Time(*horizon)
 			if h <= 0 {
 				h = 40 * sim.Millisecond
 			}
-			plan := in.Chaos(fault.ChaosConfig{
+			plan, err := in.Chaos(fault.ChaosConfig{
 				Seed: *seed, Horizon: h, Events: *events,
 				MinDowntime: 2 * sim.Millisecond, MaxDowntime: 8 * sim.Millisecond,
-				Links: links, Switches: c.Net.Switches[2:], FlapFraction: 0.25,
+				Links: trunkLinks(c), Switches: c.Net.Switches[2:], FlapFraction: 0.25,
 			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos config rejected: %v\n", err)
+				os.Exit(2)
+			}
 			fmt.Printf("chaos plan (%d episodes):\n", len(plan))
 			for _, ev := range plan {
 				fmt.Printf("  %v\n", ev)
@@ -85,6 +99,367 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
+	}
+}
+
+// trunkLinks returns the leaf-side ports of every leaf↔spine link of a
+// two-leaf leaf-spine cluster.
+func trunkLinks(c *cepheus.Cluster) []*simnet.Port {
+	var links []*simnet.Port
+	for _, sw := range c.Net.Switches[:2] {
+		for _, pt := range sw.Ports {
+			if _, ok := pt.Peer.Dev.(*simnet.Switch); ok {
+				links = append(links, pt)
+			}
+		}
+	}
+	return links
+}
+
+func hostNICs(c *cepheus.Cluster) []*simnet.Port {
+	var nics []*simnet.Port
+	for _, h := range c.Net.Hosts {
+		nics = append(nics, h.NIC)
+	}
+	return nics
+}
+
+// soakSize returns the per-broadcast size for soak modes: 1MiB unless -size
+// was given explicitly (64MiB broadcasts would stretch a 24-episode soak
+// into minutes of simulated time for no extra coverage).
+func soakSize() int {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "size" {
+			set = true
+		}
+	})
+	if set {
+		return *size
+	}
+	return 1 << 20
+}
+
+// soakTransport is the RoCE config soak runs use: defaults plus exponential
+// retransmission backoff, so a link that stays dead or heavily impaired for
+// milliseconds decays to slow probing instead of a fixed-period retransmit
+// storm.
+func soakTransport() *roce.Config {
+	cfg := roce.DefaultConfig()
+	cfg.RetxBackoff = 2
+	cfg.RetxBackoffMax = 8 * sim.Millisecond
+	return &cfg
+}
+
+func soakHorizon() sim.Time {
+	if h := sim.Time(*horizon); h > 0 {
+		return h
+	}
+	h := sim.Time(*episodes) * 5 * sim.Millisecond
+	if h < 40*sim.Millisecond {
+		h = 40 * sim.Millisecond
+	}
+	return h
+}
+
+// soakHorizonPDES is the digest-mode injection window: the PDES soak keeps
+// the broadcast pipeline saturated across the whole window (so every episode
+// overlaps live traffic) and exports the complete trace for byte comparison,
+// so the window must stay small enough for the flight-recorder ring.
+func soakHorizonPDES() sim.Time {
+	if h := sim.Time(*horizon); h > 0 {
+		return h
+	}
+	h := sim.Time(*episodes) * 500 * sim.Microsecond
+	if h < 10*sim.Millisecond {
+		h = 10 * sim.Millisecond
+	}
+	return h
+}
+
+// soakConfig assembles the episode schedule parameters shared by both soak
+// modes. grayOnly drops the fail-stop candidates (PDES runs cannot flip
+// both ends of a link mid-run).
+func soakConfig(c *cepheus.Cluster, grayOnly bool, h sim.Time) fault.SoakConfig {
+	cfg := fault.SoakConfig{
+		Seed: *seed, Episodes: *episodes, Horizon: h,
+		MinDuration: 2 * sim.Millisecond, MaxDuration: 8 * sim.Millisecond,
+		GrayLinks: append(trunkLinks(c), hostNICs(c)...),
+	}
+	if !grayOnly {
+		cfg.FailStopLinks = trunkLinks(c)
+		cfg.Switches = c.Net.Switches[2:]
+	}
+	return cfg
+}
+
+func printPlan(plan []fault.Episode) {
+	fmt.Printf("soak plan (%d episodes):\n", len(plan))
+	for _, ep := range plan {
+		fmt.Printf("  ep %2d: %-12s %-22s [%v, %v)\n", ep.Index, ep.Kind, ep.Target, ep.Start, ep.End)
+	}
+}
+
+func printSLO(report *fault.SLOReport) {
+	fmt.Println("soak slo:")
+	fmt.Println(report.String())
+	for _, slo := range report.PerEpisode {
+		line := fmt.Sprintf("soak episode %2d %-12s %-22s goodput=%d", slo.Index, slo.Kind, slo.Target, slo.GoodputBytes)
+		if slo.Detected {
+			line += fmt.Sprintf(" detect=+%d gap=%d restore=%d", int64(slo.DetectLatency), int64(slo.DeliveryGap), int64(slo.TimeToRestore))
+		}
+		fmt.Println(line)
+	}
+}
+
+// benchRow is one record of the BENCH JSON report.
+type benchRow struct {
+	Experiment string `json:"experiment"`
+	Case       string `json:"case"`
+
+	Kind    string `json:"kind,omitempty"`
+	Target  string `json:"target,omitempty"`
+	StartNs int64  `json:"start_ns,omitempty"`
+	EndNs   int64  `json:"end_ns,omitempty"`
+
+	Detected        bool  `json:"detected,omitempty"`
+	DetectLatencyNs int64 `json:"detect_latency_ns,omitempty"`
+	DeliveryGapNs   int64 `json:"delivery_gap_ns,omitempty"`
+	TimeToRestoreNs int64 `json:"time_to_restore_ns,omitempty"`
+	GoodputBytes    int64 `json:"goodput_bytes,omitempty"`
+
+	Episodes     int   `json:"episodes,omitempty"`
+	DetectedN    int   `json:"detected_n,omitempty"`
+	RestoredN    int   `json:"restored_n,omitempty"`
+	Marks        int   `json:"marks,omitempty"`
+	Unattributed int   `json:"unattributed,omitempty"`
+	DetectP50Ns  int64 `json:"detect_p50_ns,omitempty"`
+	DetectP99Ns  int64 `json:"detect_p99_ns,omitempty"`
+	GapP50Ns     int64 `json:"gap_p50_ns,omitempty"`
+	GapP99Ns     int64 `json:"gap_p99_ns,omitempty"`
+	RestoreP50Ns int64 `json:"restore_p50_ns,omitempty"`
+	RestoreP99Ns int64 `json:"restore_p99_ns,omitempty"`
+
+	ImpairDrops    uint64 `json:"impair_drops,omitempty"`
+	CorruptDrops   uint64 `json:"corrupt_drops,omitempty"`
+	CtrlStormDrops uint64 `json:"ctrl_storm_drops,omitempty"`
+	FaultDrops     uint64 `json:"fault_drops,omitempty"`
+	AuditClean     bool   `json:"audit_clean,omitempty"`
+}
+
+func writeBench(path string, report *fault.SLOReport, m cepheus.Metrics, auditClean bool) {
+	rows := make([]benchRow, 0, len(report.PerEpisode)+1)
+	for _, slo := range report.PerEpisode {
+		rows = append(rows, benchRow{
+			Experiment: "chaos-soak", Case: fmt.Sprintf("episode-%02d", slo.Index),
+			Kind: string(slo.Kind), Target: slo.Target,
+			StartNs: int64(slo.Start), EndNs: int64(slo.End),
+			Detected:        slo.Detected,
+			DetectLatencyNs: int64(slo.DetectLatency),
+			DeliveryGapNs:   int64(slo.DeliveryGap),
+			TimeToRestoreNs: int64(slo.TimeToRestore),
+			GoodputBytes:    slo.GoodputBytes,
+		})
+	}
+	rows = append(rows, benchRow{
+		Experiment: "chaos-soak", Case: "summary",
+		Episodes: report.Episodes, DetectedN: report.Detected, RestoredN: report.Restored,
+		Marks: report.Marks, Unattributed: report.Unattributed,
+		DetectP50Ns: int64(report.DetectP50), DetectP99Ns: int64(report.DetectP99),
+		GapP50Ns: int64(report.GapP50), GapP99Ns: int64(report.GapP99),
+		RestoreP50Ns: int64(report.RestoreP50), RestoreP99Ns: int64(report.RestoreP99),
+		ImpairDrops: m.ImpairDrops, CorruptDrops: m.CorruptDrops,
+		CtrlStormDrops: m.CtrlStormDrops, FaultDrops: m.FaultDrops,
+		AuditClean: auditClean,
+	})
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench encode failed: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench write failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench:    %s (%d rows)\n", path, len(rows))
+}
+
+// runSoak is the sequential composed soak: fail-stop and gray episodes
+// against the full recovery pipeline, reduced to per-episode recovery SLOs.
+func runSoak() {
+	c := cepheus.NewLeafSpine(2, 2, 4, cepheus.Options{Seed: *seed, Transport: soakTransport()})
+	if *audit {
+		c.EnableAudit()
+	}
+	sz := soakSize()
+	h := soakHorizon()
+	fmt.Printf("soak seed=%d episodes=%d horizon=%v size=%dB hosts=%d\n", *seed, *episodes, h, sz, c.Hosts())
+
+	members := make([]int, c.Hosts())
+	for i := range members {
+		members[i] = i
+	}
+	rg, err := c.NewResilientGroup(members, 0, cepheus.RecoveryOptions{
+		Window:          500 * sim.Microsecond,
+		ReprobeInterval: 2 * sim.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "registration failed: %v\n", err)
+		os.Exit(1)
+	}
+	rg.OnEvent = func(ev string) { fmt.Printf("%12v  recovery: %s\n", c.Eng.Now(), ev) }
+
+	in := fault.NewInjector(c.Net)
+	in.OnEvent = func(ev fault.Event) { fmt.Printf("%12v  fault: %s %s\n", ev.At, ev.Kind, ev.Target) }
+	plan, err := in.Soak(soakConfig(c, false, h))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak config rejected: %v\n", err)
+		os.Exit(2)
+	}
+	printPlan(plan)
+
+	// Goodput per episode is sampled live at each episode boundary (the
+	// flight recorder is a bounded ring, so a long soak's early history is
+	// not reliably in it). Fallback QPs created mid-run are enumerated by
+	// EachQP at sample time, so degraded-mode delivery counts too.
+	sumGoodput := func() uint64 {
+		var t uint64
+		for _, r := range c.RNICs {
+			r.EachQP(func(qp *roce.QP) { t += qp.GoodputBytes })
+		}
+		return t
+	}
+	gpStart := make([]uint64, len(plan))
+	gpEnd := make([]uint64, len(plan))
+	for i := range plan {
+		i := i
+		c.Eng.Schedule(plan[i].Start, func() { gpStart[i] = sumGoodput() })
+		c.Eng.Schedule(plan[i].End, func() { gpEnd[i] = sumGoodput() })
+	}
+
+	minRuntime := c.Eng.Now() + h + 20*sim.Millisecond
+	for i := 0; c.Eng.Now() < minRuntime; i++ {
+		start := c.Eng.Now()
+		done := false
+		rg.Bcast(0, sz, func() { done = true })
+		for !done {
+			if !c.Eng.Step() || c.Eng.Now()-start > 60*sim.Second {
+				fmt.Fprintf(os.Stderr, "broadcast %d wedged at t=%v (stats=%+v)\n", i, c.Eng.Now(), rg.Stats)
+				os.Exit(1)
+			}
+		}
+	}
+	// Let the pipeline settle so the final span gets its restore timestamp.
+	limit := c.Eng.Now() + 200*sim.Millisecond
+	for !rg.Native() && c.Eng.Now() < limit && c.Eng.Step() {
+	}
+
+	var marks []fault.RecoveryMark
+	for _, s := range rg.RecoverySpans() {
+		marks = append(marks, fault.RecoveryMark{
+			Reason: s.Reason, DetectAt: s.DetectAt,
+			FirstFallbackAt: s.FirstFallbackAt, RestoreAt: s.RestoreAt,
+		})
+	}
+	report := fault.ComputeSLO(plan, marks)
+	for i := range report.PerEpisode {
+		report.PerEpisode[i].GoodputBytes = int64(gpEnd[i] - gpStart[i])
+	}
+	printSLO(report)
+	fmt.Printf("final mode: native=%v\n", rg.Native())
+	fmt.Printf("recovery: %+v\n", rg.Stats)
+	fmt.Printf("fabric:   %s\n", c.Metrics())
+	fmt.Printf("faults:   %+v\n", in.Stats)
+
+	auditClean := true
+	if *audit {
+		c.Rec.Barrier()
+		fmt.Println(c.Aud.Verdict(c.Rec.ShardLost()))
+		auditClean = c.Aud.Clean()
+	}
+	if *bench != "" {
+		writeBench(*bench, report, c.Metrics(), auditClean)
+	}
+	if !auditClean {
+		c.Aud.Report(os.Stderr)
+		os.Exit(1)
+	}
+}
+
+// runSoakPDES is the partitioned gray-only soak: the same seeded schedule
+// restricted to PDES-safe impairments, run at -workers worker threads. Its
+// trace digest and SLO report are byte-identical at every worker count —
+// the property the chaos-soak CI job diffs.
+func runSoakPDES() {
+	c := cepheus.NewLeafSpine(2, 2, 4, cepheus.Options{
+		Seed: *seed, Workers: *workers, Partition: true, Transport: soakTransport(),
+	})
+	defer c.Close()
+	cap := *tracecap
+	if cap == 0 {
+		cap = 1 << 22 // the digest compares the full window; default ring is too small
+	}
+	rec := c.EnableTrace(cap)
+	if *audit {
+		c.EnableAudit()
+	}
+	sz := soakSize()
+	h := soakHorizonPDES()
+	fmt.Printf("soak(pdes) seed=%d workers=%d episodes=%d horizon=%v size=%dB\n", *seed, *workers, *episodes, h, sz)
+
+	in := fault.NewInjector(c.Net)
+	plan, err := in.Soak(soakConfig(c, true, h))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak config rejected: %v\n", err)
+		os.Exit(2)
+	}
+
+	members := make([]int, c.Hosts())
+	for i := range members {
+		members[i] = i
+	}
+	b, err := c.Broadcaster(cepheus.SchemeCepheus, members, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "registration failed: %v\n", err)
+		os.Exit(1)
+	}
+	// Broadcast back-to-back until the injection window closes (at least
+	// -bcasts of them), so every episode overlaps live traffic. The loop
+	// bound is the root's LP-local virtual clock — identical at every worker
+	// count (the cluster-wide engine is nil under the partitioned coordinator).
+	rootClock := c.Net.Hosts[0].Engine()
+	for i := 0; i < *bcasts || rootClock.Now() < h; i++ {
+		if _, err := c.RunBcastErr(b, 0, sz); err != nil {
+			fmt.Fprintf(os.Stderr, "broadcast %d failed: %v\n", i, err)
+			os.Exit(1)
+		}
+	}
+	cut := h + 20*sim.Millisecond
+	c.SettleUntil(cut)
+	evs := rec.EventsUntil(cut)
+	if rec.Lost() != 0 {
+		fmt.Fprintf(os.Stderr, "flight recorder overflowed (lost %d); raise -tracecap\n", rec.Lost())
+		os.Exit(1)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf, evs); err != nil {
+		fmt.Fprintf(os.Stderr, "trace export failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("soak digest: %x\n", sha256.Sum256(buf.Bytes()))
+
+	report := fault.ComputeSLO(plan, nil)
+	fault.AttachGoodput(report.PerEpisode, evs)
+	printSLO(report)
+
+	if *audit {
+		rec.Barrier()
+		fmt.Println(c.Aud.Verdict(rec.ShardLost()))
+		if !c.Aud.Clean() {
+			c.Aud.Report(os.Stderr)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,189 @@
+package cepheus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// TestSafeguardTripsOnDegradedLink is the gray-failure blind-spot scenario:
+// a member's access link goes lossy — alive, carrying traffic, dropping a
+// fraction of it — and the safeguard must trip on throughput collapse even
+// though no link ever reports down. Fallback unicast then completes the
+// broadcast over the same lossy link via retransmission, and after Repair
+// the re-probe loop restores native multicast.
+func TestSafeguardTripsOnDegradedLink(t *testing.T) {
+	c := NewTestbed(4, Options{})
+	rg, err := c.NewResilientGroup([]int{0, 1, 2, 3}, 0, fastRecovery())
+	if err != nil {
+		t.Fatalf("initial registration: %v", err)
+	}
+	in := fault.NewInjector(c.Net)
+
+	// Healthy broadcast first: the safeguard learns the native norm.
+	runRBcast(t, c, rg, 0, 1<<20)
+	if !rg.Native() {
+		t.Fatalf("healthy broadcast not native: %+v", rg.Stats)
+	}
+
+	// Member 3's access link degrades to 30% frame loss in both directions —
+	// gray, not fail-stop: the link stays up the whole time.
+	link := in.HostLink(3)
+	in.Degrade(link, simnet.Impairment{LossRate: 0.3}, 99)
+	runRBcast(t, c, rg, 0, 8<<20)
+
+	if rg.Stats.Trips == 0 {
+		t.Fatalf("safeguard never tripped on the degraded link: %+v", rg.Stats)
+	}
+	if rg.Stats.FallbackDeliveries != 3 {
+		t.Fatalf("fallback deliveries = %d, want 3", rg.Stats.FallbackDeliveries)
+	}
+	if rg.Stats.CorruptDeliveries != 0 || rg.Stats.DupDeliveries != 0 {
+		t.Fatalf("delivery corruption: %+v", rg.Stats)
+	}
+	m := c.Metrics()
+	if m.ImpairDrops == 0 {
+		t.Fatal("impairment never dropped a frame; test is vacuous")
+	}
+	if m.FaultDrops != 0 {
+		t.Fatalf("gray scenario recorded %d fail-stop drops; the link must stay up", m.FaultDrops)
+	}
+
+	// Repair the wire; the re-probe loop must restore native multicast.
+	in.Repair(link)
+	before := rg.Stats.NativeDeliveries
+	runUntil(t, c, rg.Native, 200*sim.Millisecond, "restore to native after repair")
+	runRBcast(t, c, rg, 0, 1<<20)
+	if rg.Stats.NativeDeliveries != before+3 {
+		t.Fatalf("post-repair broadcast not native: %+v", rg.Stats)
+	}
+}
+
+// TestPrimedSafeguardReTripsOnStillLossyLink covers the restore-onto-lossy
+// relapse: the safeguard trips, the re-probe loop restores native service
+// while the wire is *still* degraded, and the fresh safeguard — primed with
+// the pre-fault norm — must trip again instead of adopting the degraded rate
+// as the new normal.
+func TestPrimedSafeguardReTripsOnStillLossyLink(t *testing.T) {
+	c := NewTestbed(4, Options{})
+	rg, err := c.NewResilientGroup([]int{0, 1, 2, 3}, 0, fastRecovery())
+	if err != nil {
+		t.Fatalf("initial registration: %v", err)
+	}
+	in := fault.NewInjector(c.Net)
+	runRBcast(t, c, rg, 0, 1<<20)
+
+	link := in.HostLink(3)
+	in.Degrade(link, simnet.Impairment{LossRate: 0.3}, 7)
+	runRBcast(t, c, rg, 0, 8<<20)
+	if rg.Stats.Trips == 0 {
+		t.Fatalf("safeguard never tripped: %+v", rg.Stats)
+	}
+
+	// Registration control traffic gets through 30% loss (bounded retries),
+	// so the re-probe loop restores native mode onto the still-lossy link.
+	runUntil(t, c, rg.Native, 500*sim.Millisecond, "restore onto still-lossy link")
+	trips := rg.Stats.Trips
+
+	// The next heavy broadcast rides native multicast over the degraded wire:
+	// the primed safeguard still holds the healthy norm and must re-trip.
+	runRBcast(t, c, rg, 0, 8<<20)
+	if rg.Stats.Trips <= trips {
+		t.Fatalf("primed safeguard did not re-trip on the still-lossy link: %+v", rg.Stats)
+	}
+
+	in.Repair(link)
+	runUntil(t, c, rg.Native, 500*sim.Millisecond, "final restore after repair")
+	runRBcast(t, c, rg, 0, 1<<20)
+	if !rg.Native() {
+		t.Fatalf("not native after repair: %+v", rg.Stats)
+	}
+}
+
+// graySoakWorkload runs a gray-only soak (loss, burst, corruption, latency,
+// bandwidth, control storms — no fail-stop) under the partitioned coordinator
+// and returns the canonical trace bytes plus the SLO report with per-episode
+// goodput, both of which must be identical at every worker count.
+func graySoakWorkload(t *testing.T, seed int64, workers int) ([]byte, string) {
+	t.Helper()
+	core.ResetMcstIDs()
+	c := NewLeafSpine(2, 2, 4, Options{Seed: seed, Workers: workers, Partition: true})
+	defer c.Close()
+	rec := c.EnableTrace(1 << 21)
+	in := fault.NewInjector(c.Net)
+
+	gray := make([]*simnet.Port, 0, len(c.Net.Hosts))
+	for _, h := range c.Net.Hosts {
+		gray = append(gray, h.NIC)
+	}
+	cfg := fault.SoakConfig{
+		Seed:        seed,
+		Episodes:    8,
+		Horizon:     30 * sim.Millisecond,
+		MinDuration: 2 * sim.Millisecond,
+		MaxDuration: 6 * sim.Millisecond,
+		GrayLinks:   gray,
+	}
+	plan, err := in.Soak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	members := make([]int, len(c.Net.Hosts))
+	for i := range members {
+		members[i] = i
+	}
+	b, err := c.Broadcaster(SchemeCepheus, members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.RunBcastErr(b, 0, 256<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const horizon = 50 * sim.Millisecond
+	c.SettleUntil(horizon)
+	evs := rec.EventsUntil(horizon)
+	if len(evs) == 0 {
+		t.Fatal("trace captured nothing")
+	}
+	if rec.Lost() != 0 {
+		t.Fatalf("flight recorder overflowed (lost %d)", rec.Lost())
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	report := fault.ComputeSLO(plan, nil)
+	fault.AttachGoodput(report.PerEpisode, evs)
+	slo := report.String()
+	for _, ep := range report.PerEpisode {
+		slo += fmt.Sprintf("\nepisode %d %s %s goodput=%d", ep.Index, ep.Kind, ep.Target, ep.GoodputBytes)
+	}
+	return buf.Bytes(), slo
+}
+
+// TestGraySoakDigestAcrossWorkers is the PDES determinism acceptance gate for
+// gray failures: the same gray-only soak yields a byte-identical canonical
+// trace and an identical SLO report at every worker count.
+func TestGraySoakDigestAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker leaf-spine soak sweeps in -short mode")
+	}
+	ref, refSLO := graySoakWorkload(t, 1, 1)
+	for _, w := range []int{2, 4, 8} {
+		got, slo := graySoakWorkload(t, 1, w)
+		if !bytes.Equal(ref, got) {
+			t.Errorf("workers=%d trace diverges from serial partitioned run (%d vs %d bytes)", w, len(got), len(ref))
+		}
+		if slo != refSLO {
+			t.Errorf("workers=%d SLO report diverges:\n--- workers=1\n%s\n--- workers=%d\n%s", w, refSLO, w, slo)
+		}
+	}
+}

@@ -68,6 +68,26 @@ func NewSafeguard(eng *sim.Engine, qp *roce.QP, threshold float64, window sim.Ti
 	return s
 }
 
+// Best returns the highest per-window progress observed so far (the
+// collapse baseline), in PSNs per window.
+func (s *Safeguard) Best() float64 { return s.bestRate }
+
+// Prime seeds the collapse baseline from an earlier safeguard's Best and
+// skips the warmup windows. A fresh safeguard otherwise learns its norm
+// from whatever the link currently delivers — which, when native service is
+// restored onto a still-degraded (lossy, not dead) link, silently adopts
+// the degraded rate as "normal" and never re-trips. Priming keeps the
+// pre-fault norm as the baseline, so gray degradation trips the safeguard
+// exactly like a post-restore relapse would.
+func (s *Safeguard) Prime(best float64) {
+	if best > s.bestRate {
+		s.bestRate = best
+	}
+	if s.bestRate > 0 {
+		s.warmup = 2
+	}
+}
+
 // TripRegistration records a registration failure, the other fallback
 // trigger the paper names.
 func (s *Safeguard) TripRegistration(err error) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/roce"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 // TestSafeguardNoFalseTripOnBurstyTraffic: healthy-but-bursty senders (idle
@@ -85,5 +86,53 @@ func TestSafeguardRecoverHook(t *testing.T) {
 	}
 	if s.Tripped() {
 		t.Fatal("safeguard still reports tripped after recovery")
+	}
+}
+
+// TestSafeguardPrimeKeepsPreFaultNorm demonstrates the gray-failure blind
+// spot Prime closes: a safeguard created *after* a link has already degraded
+// learns the degraded rate as its norm and never trips, while one primed
+// with the pre-fault best detects the collapse. This is exactly the
+// restore-onto-still-lossy-link situation the recovery pipeline hits when it
+// re-creates the safeguard after restoring native service.
+func TestSafeguardPrimeKeepsPreFaultNorm(t *testing.T) {
+	e := newEnv(t, testbed4, []int{0, 1, 2, 3}, 0, roce.DefaultConfig())
+	register(t, e)
+	src := e.group.Members[0].QP
+	stop := false
+	var repost func()
+	repost = func() {
+		if !stop {
+			src.PostSend(1<<20, repost)
+		}
+	}
+
+	// Learn the healthy norm.
+	probe := NewSafeguard(e.eng, src, 0.5, sim.Millisecond, nil)
+	repost()
+	e.eng.RunFor(10 * sim.Millisecond)
+	best := probe.Best()
+	probe.Stop()
+	if best == 0 {
+		t.Fatal("healthy run established no baseline")
+	}
+
+	// The wire degrades to 30% of line rate — a steady gray degradation, the
+	// kind that produces a consistent-but-collapsed rate — and only then are
+	// fresh safeguards created: the shape of a restore onto a still-degraded
+	// link.
+	e.net.Hosts[0].NIC.SetImpairment(simnet.Impairment{BandwidthFraction: 0.3}, 1)
+	unprimedTrip, primedTrip := false, false
+	unprimed := NewSafeguard(e.eng, src, 0.5, sim.Millisecond, func(string) { unprimedTrip = true })
+	primed := NewSafeguard(e.eng, src, 0.5, sim.Millisecond, func(string) { primedTrip = true })
+	primed.Prime(best)
+	e.eng.RunFor(100 * sim.Millisecond)
+	stop = true
+	_ = unprimed
+	if !primedTrip {
+		t.Fatal("primed safeguard never tripped on the degraded link")
+	}
+	if unprimedTrip {
+		t.Fatal("unprimed safeguard tripped; the blind spot this test pins no longer exists — update Prime's rationale")
 	}
 }

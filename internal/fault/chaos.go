@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/sim"
@@ -37,17 +39,39 @@ type ChaosConfig struct {
 
 	// FlapFraction is the fraction of link episodes injected as rapid
 	// flaps (down and back up after MinDowntime) rather than a full
-	// down/up episode.
+	// down/up episode. Must lie in [0, 1].
 	FlapFraction float64
 }
 
+// Validate rejects configurations that would previously have produced a
+// silently empty (or nonsensical) schedule.
+func (cfg *ChaosConfig) Validate() error {
+	if cfg.Events <= 0 {
+		return fmt.Errorf("chaos: Events must be positive, got %d", cfg.Events)
+	}
+	if cfg.Horizon <= 0 {
+		return fmt.Errorf("chaos: Horizon must be positive, got %v", cfg.Horizon)
+	}
+	if cfg.MinDowntime < 0 || cfg.MaxDowntime < 0 {
+		return fmt.Errorf("chaos: downtimes must be non-negative, got min=%v max=%v", cfg.MinDowntime, cfg.MaxDowntime)
+	}
+	if cfg.FlapFraction < 0 || cfg.FlapFraction > 1 {
+		return fmt.Errorf("chaos: FlapFraction must be in [0,1], got %g", cfg.FlapFraction)
+	}
+	if len(cfg.Links) == 0 && len(cfg.Switches) == 0 {
+		return errors.New("chaos: no candidate links or switches")
+	}
+	return nil
+}
+
 // Chaos generates and schedules a deterministic fault storm, returning the
-// planned episodes (down-transition times) for logging. Overlapping
-// episodes on the same element are harmless: transitions are idempotent
-// and each repair only revives what is still down.
-func (in *Injector) Chaos(cfg ChaosConfig) []Event {
-	if cfg.Events <= 0 || cfg.Horizon <= 0 || (len(cfg.Links) == 0 && len(cfg.Switches) == 0) {
-		return nil
+// planned episodes (down-transition times) for logging. Episodes are
+// hold-counted (DownEpisode/CrashEpisode), so overlapping episodes on the
+// same element compose instead of double-reviving: the element comes back
+// exactly when its last overlapping episode ends.
+func (in *Injector) Chaos(cfg ChaosConfig) ([]Event, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	base := in.eng.Now()
@@ -71,17 +95,15 @@ func (in *Injector) Chaos(cfg ChaosConfig) []Event {
 				continue
 			}
 			plan = append(plan, Event{At: at, Kind: LinkDown, Target: linkName(pt)})
-			in.LinkDownAt(at, pt)
-			in.LinkUpAt(at+d, pt)
+			in.DownEpisode(pt, at, at+d)
 			in.At(at, func() { in.Stats.ChaosEvents++ })
 		} else {
 			sw := cfg.Switches[k-len(cfg.Links)]
 			d := downFor()
 			plan = append(plan, Event{At: at, Kind: SwitchCrash, Target: sw.Name})
-			in.CrashAt(at, sw)
-			in.RestartAt(at+d, sw)
+			in.CrashEpisode(sw, at, at+d)
 			in.At(at, func() { in.Stats.ChaosEvents++ })
 		}
 	}
-	return plan
+	return plan, nil
 }

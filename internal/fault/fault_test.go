@@ -156,11 +156,14 @@ func TestChaosDeterministicSchedule(t *testing.T) {
 				}
 			}
 		}
-		plan := in.Chaos(ChaosConfig{
+		plan, err := in.Chaos(ChaosConfig{
 			Seed: 7, Horizon: 50 * sim.Millisecond, Events: 6,
 			MinDowntime: sim.Millisecond, MaxDowntime: 5 * sim.Millisecond,
 			Links: links, Switches: net.Switches[2:], FlapFraction: 0.3,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		eng.RunUntil(100 * sim.Millisecond)
 		if in.Stats.ChaosEvents != 6 {
 			t.Fatalf("chaos injected %d/6 events", in.Stats.ChaosEvents)

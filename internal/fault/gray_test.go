@@ -1,0 +1,302 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+func trunkPort(t *testing.T, net *topo.Network) *simnet.Port {
+	t.Helper()
+	for _, pt := range net.Switches[0].Ports {
+		if _, ok := pt.Peer.Dev.(*simnet.Switch); ok {
+			return pt
+		}
+	}
+	t.Fatal("no trunk port")
+	return nil
+}
+
+func TestChaosConfigValidation(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.Testbed(eng, 2)
+	in := NewInjector(net)
+	link := in.HostLink(0)
+	good := ChaosConfig{
+		Seed: 1, Horizon: sim.Millisecond, Events: 2,
+		MinDowntime: sim.Microsecond, MaxDowntime: 2 * sim.Microsecond,
+		Links: []*simnet.Port{link},
+	}
+	if _, err := in.Chaos(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*ChaosConfig){
+		func(c *ChaosConfig) { c.Events = 0 },
+		func(c *ChaosConfig) { c.Events = -3 },
+		func(c *ChaosConfig) { c.Horizon = 0 },
+		func(c *ChaosConfig) { c.MinDowntime = -sim.Microsecond },
+		func(c *ChaosConfig) { c.MaxDowntime = -sim.Microsecond },
+		func(c *ChaosConfig) { c.FlapFraction = -0.1 },
+		func(c *ChaosConfig) { c.FlapFraction = 1.5 },
+		func(c *ChaosConfig) { c.Links, c.Switches = nil, nil },
+	}
+	for i, mutate := range bad {
+		cfg := good
+		mutate(&cfg)
+		if plan, err := in.Chaos(cfg); err == nil {
+			t.Errorf("bad config %d accepted (plan len %d)", i, len(plan))
+		}
+	}
+}
+
+// TestOverlappingDownEpisodesIdempotent pins the repair-idempotence
+// property: two overlapping fail-stop episodes on one link (scheduled via
+// either end) must revive the link exactly once, when the LAST one ends.
+func TestOverlappingDownEpisodesIdempotent(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.LeafSpine(eng, 2, 2, 2)
+	in := NewInjector(net)
+	pt := trunkPort(t, net)
+
+	in.DownEpisode(pt, 1*sim.Millisecond, 5*sim.Millisecond)
+	in.DownEpisode(pt.Peer, 3*sim.Millisecond, 9*sim.Millisecond) // other end: same link
+
+	check := func(at sim.Time, down bool) {
+		eng.RunUntil(at)
+		if pt.Down() != down || pt.Peer.Down() != down {
+			t.Fatalf("at %v: down=%v/%v, want %v", at, pt.Down(), pt.Peer.Down(), down)
+		}
+	}
+	check(500*sim.Microsecond, false)
+	check(2*sim.Millisecond, true)
+	check(6*sim.Millisecond, true) // first episode's repair must not revive
+	check(10*sim.Millisecond, false)
+	if in.Stats.LinkDowns != 1 || in.Stats.LinkUps != 1 {
+		t.Fatalf("expected exactly one down/up transition, got %+v", in.Stats)
+	}
+}
+
+// TestDownEpisodeDoesNotClearDegrade pins the other half: a fail-stop
+// episode's repair overlapping a gray episode must leave the degraded link
+// marked degraded, not healthy.
+func TestDownEpisodeDoesNotClearDegrade(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.LeafSpine(eng, 2, 2, 2)
+	in := NewInjector(net)
+	pt := trunkPort(t, net)
+
+	imp := simnet.Impairment{LossRate: 0.2}
+	in.DegradeEpisode(pt, 1*sim.Millisecond, 8*sim.Millisecond, imp, 42)
+	in.DownEpisode(pt, 2*sim.Millisecond, 5*sim.Millisecond)
+
+	eng.RunUntil(6 * sim.Millisecond) // down episode repaired, gray still active
+	if pt.Down() {
+		t.Fatal("link still down after its fail-stop episode ended")
+	}
+	got, ok := pt.CurrentImpairment()
+	if !ok || got.LossRate != imp.LossRate {
+		t.Fatalf("gray impairment stripped by fail-stop repair: %+v ok=%v", got, ok)
+	}
+	if !pt.Peer.Impaired() {
+		t.Fatal("peer direction lost its impairment")
+	}
+	eng.RunUntil(9 * sim.Millisecond)
+	if pt.Impaired() || pt.Peer.Impaired() {
+		t.Fatal("impairment survived its own episode end")
+	}
+	if in.Stats.LinkDegrades != 1 || in.Stats.LinkRepairs != 1 {
+		t.Fatalf("gray stats: %+v", in.Stats)
+	}
+}
+
+// TestOverlappingDegradeEpisodes: when two gray episodes overlap on one
+// egress, the later-scheduled one wins while both are active, and the end
+// of the later must fall back to the earlier — not mark the link healthy.
+func TestOverlappingDegradeEpisodes(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.LeafSpine(eng, 2, 2, 2)
+	in := NewInjector(net)
+	pt := trunkPort(t, net)
+
+	in.DegradeEpisode(pt, 1*sim.Millisecond, 10*sim.Millisecond, simnet.Impairment{LossRate: 0.1}, 1)
+	in.DegradeEpisode(pt, 3*sim.Millisecond, 6*sim.Millisecond, simnet.Impairment{LossRate: 0.5}, 2)
+
+	rate := func(at sim.Time) float64 {
+		eng.RunUntil(at)
+		imp, ok := pt.CurrentImpairment()
+		if !ok {
+			return -1
+		}
+		return imp.LossRate
+	}
+	if r := rate(2 * sim.Millisecond); r != 0.1 {
+		t.Fatalf("before overlap: loss=%v", r)
+	}
+	if r := rate(4 * sim.Millisecond); r != 0.5 {
+		t.Fatalf("during overlap the later episode must win: loss=%v", r)
+	}
+	if r := rate(7 * sim.Millisecond); r != 0.1 {
+		t.Fatalf("after the later ends the earlier must resume: loss=%v", r)
+	}
+	if r := rate(11 * sim.Millisecond); r != -1 {
+		t.Fatalf("after both end the link must be healthy: loss=%v", r)
+	}
+}
+
+// TestFlapCannotReviveDownEpisode: a short flap inside a longer down
+// episode must not bring the link up early when the flap's revival fires.
+func TestFlapCannotReviveDownEpisode(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.LeafSpine(eng, 2, 2, 2)
+	in := NewInjector(net)
+	pt := trunkPort(t, net)
+
+	in.DownEpisode(pt, 1*sim.Millisecond, 8*sim.Millisecond)
+	in.At(2*sim.Millisecond, func() { in.Flap(pt, sim.Millisecond) })
+
+	eng.RunUntil(4 * sim.Millisecond) // flap's up fired at 3ms
+	if !pt.Down() {
+		t.Fatal("flap revived a link a longer episode still holds down")
+	}
+	eng.RunUntil(9 * sim.Millisecond)
+	if pt.Down() {
+		t.Fatal("link not revived after the last hold released")
+	}
+}
+
+// TestRepairRacingScheduledEpisodeEnd: a manual Repair before a gray
+// episode's scheduled end must not cause the end event to double-book a
+// repair or corrupt the stack.
+func TestRepairRacingScheduledEpisodeEnd(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.LeafSpine(eng, 2, 2, 2)
+	in := NewInjector(net)
+	pt := trunkPort(t, net)
+
+	in.DegradeEpisode(pt, 1*sim.Millisecond, 8*sim.Millisecond, simnet.Impairment{LossRate: 0.3}, 7)
+	in.At(4*sim.Millisecond, func() { in.Repair(pt) })
+
+	eng.RunUntil(5 * sim.Millisecond)
+	if pt.Impaired() || pt.Peer.Impaired() {
+		t.Fatal("Repair did not clear the active episode")
+	}
+	eng.RunUntil(9 * sim.Millisecond) // episode's own end event fires harmlessly
+	if pt.Impaired() {
+		t.Fatal("episode end re-installed a repaired impairment")
+	}
+	if in.Stats.LinkRepairs != 2 {
+		// One counted at scheduling time (the episode's paired repair), one
+		// by the manual Repair.
+		t.Fatalf("LinkRepairs = %d, want 2", in.Stats.LinkRepairs)
+	}
+}
+
+func TestSoakValidation(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.LeafSpine(eng, 2, 2, 2)
+	in := NewInjector(net)
+	pt := trunkPort(t, net)
+	good := SoakConfig{
+		Seed: 1, Episodes: 4, Horizon: 10 * sim.Millisecond,
+		MinDuration: sim.Millisecond, MaxDuration: 2 * sim.Millisecond,
+		GrayLinks: []*simnet.Port{pt},
+	}
+	bad := []func(*SoakConfig){
+		func(c *SoakConfig) { c.Episodes = 0 },
+		func(c *SoakConfig) { c.Horizon = 0 },
+		func(c *SoakConfig) { c.MinDuration = -1 },
+		func(c *SoakConfig) { c.FailStopFraction = 2 },
+		func(c *SoakConfig) { c.MaxLossRate = -0.1 },
+		func(c *SoakConfig) { c.MinBandwidthFraction = 1.5 },
+		func(c *SoakConfig) { c.GrayLinks = nil },
+	}
+	for i, mutate := range bad {
+		cfg := good
+		mutate(&cfg)
+		if _, err := in.Soak(cfg); err == nil {
+			t.Errorf("bad soak config %d accepted", i)
+		}
+	}
+}
+
+// TestSoakPlanDeterministic: the same seed plans the same episodes, and the
+// schedule actually drains (every hold released, every impairment cleared).
+func TestSoakPlanDeterministic(t *testing.T) {
+	run := func() ([]Episode, *topo.Network) {
+		eng := sim.New(1)
+		net := topo.LeafSpine(eng, 2, 2, 2)
+		in := NewInjector(net)
+		var trunks []*simnet.Port
+		for _, sw := range net.Switches[:2] {
+			for _, pt := range sw.Ports {
+				if _, ok := pt.Peer.Dev.(*simnet.Switch); ok {
+					trunks = append(trunks, pt)
+				}
+			}
+		}
+		plan, err := in.Soak(SoakConfig{
+			Seed: 11, Episodes: 12, Horizon: 30 * sim.Millisecond,
+			MinDuration: sim.Millisecond, MaxDuration: 4 * sim.Millisecond,
+			FailStopLinks: trunks, Switches: net.Switches[2:], GrayLinks: trunks,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.RunUntil(60 * sim.Millisecond)
+		return plan, net
+	}
+	a, netA := run()
+	b, _ := run()
+	if len(a) != len(b) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Start < a[i-1].Start {
+			t.Fatal("plan not sorted by start time")
+		}
+	}
+	for _, sw := range netA.Switches {
+		if sw.Crashed() {
+			t.Fatalf("switch %s still crashed after the schedule drained", sw.Name)
+		}
+		for _, pt := range sw.Ports {
+			if pt.Down() || pt.Impaired() {
+				t.Fatal("element still down/impaired after the schedule drained")
+			}
+		}
+	}
+}
+
+func TestComputeSLOAttribution(t *testing.T) {
+	plan := []Episode{
+		{Index: 0, Kind: EpLoss, Target: "a", Start: 1000, End: 5000},
+		{Index: 1, Kind: EpLinkDown, Target: "b", Start: 10000, End: 20000},
+	}
+	marks := []RecoveryMark{
+		{Reason: "trip-a", DetectAt: 2000, FirstFallbackAt: 2500, RestoreAt: 6000},
+		{Reason: "trip-b", DetectAt: 12000, FirstFallbackAt: -1, RestoreAt: -1},
+		{Reason: "stray", DetectAt: 900000, FirstFallbackAt: -1, RestoreAt: -1},
+	}
+	r := ComputeSLO(plan, marks)
+	if r.Detected != 2 || r.Restored != 1 || r.Unattributed != 1 {
+		t.Fatalf("report: %+v", r)
+	}
+	e0 := r.PerEpisode[0]
+	if !e0.Detected || e0.DetectLatency != 1000 || e0.DeliveryGap != 500 || e0.TimeToRestore != 1000 {
+		t.Fatalf("episode 0 SLO: %+v", e0)
+	}
+	e1 := r.PerEpisode[1]
+	if !e1.Detected || e1.DeliveryGap != -1 || e1.TimeToRestore != -1 {
+		t.Fatalf("episode 1 SLO: %+v", e1)
+	}
+	if r.DetectP50 != 1000 && r.DetectP50 != 2000 {
+		t.Fatalf("detect p50 = %v", r.DetectP50)
+	}
+}

@@ -133,12 +133,35 @@ const (
 	RFault
 	// RUnknownGroup: multicast data for a group the switch has no MFT for.
 	RUnknownGroup
+	// RImpairLoss: a gray-failure impairment lost the frame on the wire
+	// (independent or Gilbert-Elliott burst loss at an impaired port).
+	RImpairLoss
+	// RCorrupt: a gray-failure impairment corrupted the frame; the receiver's
+	// CRC check would discard it, modeled as a wire loss at the sender port.
+	RCorrupt
+	// RStormLoss: a control-plane-targeted loss storm dropped a control frame
+	// (MRP/ACK/NACK/CNP) at an impaired port.
+	RStormLoss
 
 	numReasons
 )
 
 var reasonNames = [...]string{
 	"", "qlimit", "loss", "ctrl-loss", "crash", "no-route", "fault", "unknown-group",
+	"impair-loss", "corrupt", "ctrl-storm",
+}
+
+// InjectedLoss reports whether r marks a deliberately injected discard (loss
+// models, gray impairments, fail-stop faults) as opposed to a drop the
+// protocol machinery itself decided on (tail drop, missing route, unknown
+// group). The auditor uses the distinction to keep injected loss from ever
+// reading as a protocol violation.
+func (r Reason) InjectedLoss() bool {
+	switch r {
+	case RLoss, RCtrlLoss, RCrash, RFault, RImpairLoss, RCorrupt, RStormLoss:
+		return true
+	}
+	return false
 }
 
 func (r Reason) String() string {

@@ -26,6 +26,13 @@ const (
 	FUnknownGroupDrops
 	// FUnknownGroupNacks: unknown-group NACKs emitted toward sources.
 	FUnknownGroupNacks
+	// FImpairDrops: frames lost to gray-failure wire impairments (independent
+	// and burst loss) at ports.
+	FImpairDrops
+	// FCorruptDrops: frames lost to injected CRC corruption at ports.
+	FCorruptDrops
+	// FStormDrops: control frames lost to control-plane loss storms at ports.
+	FStormDrops
 
 	NumFCounters
 )
@@ -33,7 +40,7 @@ const (
 var fcounterNames = [...]string{
 	"data-drops", "ctrl-drops", "crash-drops", "no-route-drops", "fault-drops",
 	"mft-wipes", "epoch-rebuilds", "stale-mrp", "unknown-group-drops",
-	"unknown-group-nacks",
+	"unknown-group-nacks", "impair-drops", "corrupt-drops", "ctrl-storm-drops",
 }
 
 // String names the counter (stable identifiers for exports and series).

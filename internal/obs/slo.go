@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Recovery-SLO extraction helpers: small, deterministic reductions over
+// recorded histories that the fault soak harness (internal/fault, cmd/
+// faultsim) uses to turn spans and traces into p50/p99 SLO numbers. They
+// live here because obs owns the event taxonomy; fault owns the episode
+// semantics layered on top.
+
+// Quantile returns the nearest-rank q-quantile (0 < q <= 1) of xs, sorting a
+// copy; -1 if xs is empty. Exact-by-construction for the small sample sets a
+// soak produces (unlike the log-bucketed Histogram, which trades exactness
+// for allocation-free hot paths).
+func Quantile(xs []sim.Time, q float64) sim.Time {
+	if len(xs) == 0 {
+		return -1
+	}
+	s := append([]sim.Time(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(float64(len(s))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// DeliveredBytes sums the payload bytes of messages delivered in [from, to)
+// across evs (KDeliver events carry B = message payload bytes). Because the
+// canonical event stream is identical across worker counts, so is this sum.
+func DeliveredBytes(evs []Event, from, to sim.Time) int64 {
+	var n int64
+	for i := range evs {
+		e := &evs[i]
+		if e.Kind == KDeliver && e.At >= from && e.At < to {
+			n += e.B
+		}
+	}
+	return n
+}
+
+// CountDrops tallies KDrop events by reason over evs, for report lines that
+// attribute observed loss to its injector.
+func CountDrops(evs []Event) map[Reason]uint64 {
+	m := make(map[Reason]uint64)
+	for i := range evs {
+		if evs[i].Kind == KDrop {
+			m[evs[i].Reason]++
+		}
+	}
+	return m
+}

@@ -20,6 +20,16 @@ type Config struct {
 	// RetxTimeout is the sender-side go-back-N safeguard timeout.
 	RetxTimeout sim.Time
 
+	// RetxBackoff, when > 1, multiplies the effective retransmission timeout
+	// by this factor after every expiry that finds the window still stalled,
+	// up to RetxBackoffMax; a cumulative advance resets it to RetxTimeout.
+	// Sustained-loss soaks turn this on so a dead or heavily impaired path
+	// decays to a slow probe instead of a fixed-period retransmit storm.
+	// The default (0) keeps the fixed timeout — and existing traces —
+	// byte-identical.
+	RetxBackoff    float64
+	RetxBackoffMax sim.Time
+
 	// PostOverhead is the end-host stack cost per posted message (verbs
 	// post, doorbell, descriptor fetch). AMcast relays pay it at every hop;
 	// this is the "through the end-host stacks multiple times" effect the

@@ -77,6 +77,7 @@ type QP struct {
 	nextTx        sim.Time
 	sendScheduled bool
 	rto           *sim.Timer
+	curRTO        sim.Time // backed-off timeout (0: Cfg.RetxTimeout)
 	lastRewindE   uint64
 	lastRewindAt  sim.Time
 	cc            *dcqcn
@@ -185,6 +186,7 @@ func (qp *QP) Flush() {
 	qp.sndUna, qp.sndNxt, qp.maxSent = qp.tail, qp.tail, qp.tail
 	qp.rtq = nil
 	qp.rto.Stop()
+	qp.curRTO = 0
 	// Responder: discard partial assembly and buffered out-of-order data so
 	// a pre-fault message prefix can never merge with post-recovery bytes.
 	qp.curBytes, qp.curVA, qp.curRKey, qp.curValue = 0, 0, 0, 0
@@ -384,7 +386,28 @@ func (qp *QP) wqeFor(psn uint64) *WQE {
 }
 
 func (qp *QP) armRTO() {
-	qp.rto.Reset(qp.nic.Cfg.RetxTimeout)
+	to := qp.curRTO
+	if to <= 0 {
+		to = qp.nic.Cfg.RetxTimeout
+	}
+	qp.rto.Reset(to)
+}
+
+// backoffRTO grows the effective timeout after an expiry, when enabled.
+func (qp *QP) backoffRTO() {
+	cfg := &qp.nic.Cfg
+	if cfg.RetxBackoff <= 1 {
+		return
+	}
+	cur := qp.curRTO
+	if cur <= 0 {
+		cur = cfg.RetxTimeout
+	}
+	next := sim.Time(float64(cur) * cfg.RetxBackoff)
+	if cfg.RetxBackoffMax > 0 && next > cfg.RetxBackoffMax {
+		next = cfg.RetxBackoffMax
+	}
+	qp.curRTO = next
 }
 
 func (qp *QP) onRTO() {
@@ -398,6 +421,7 @@ func (qp *QP) onRTO() {
 		return
 	}
 	qp.nic.Stats.Timeouts++
+	qp.backoffRTO()
 	if qp.nic.Cfg.IRN {
 		qp.queueRetx(qp.sndUna)
 	} else {
@@ -425,7 +449,18 @@ func (qp *QP) advanceCum(acked uint64) {
 	if acked < qp.sndUna {
 		return
 	}
+	if acked > qp.sndUna {
+		qp.curRTO = 0 // forward progress: shed any retransmission backoff
+	}
 	qp.sndUna = acked
+	// A NACK rewind can leave sndNxt below a cumulative ACK that lands
+	// before the rewound range is re-emitted (the NACKed packets were
+	// delayed, not lost). Restore sndNxt >= sndUna or the unsigned
+	// in-flight count underflows: the window then reads as permanently
+	// full and the QP goes dormant with its RTO stopped.
+	if qp.sndNxt < qp.sndUna {
+		qp.sndNxt = qp.sndUna
+	}
 	for len(qp.wqes) > 0 && qp.wqes[0].LastPSN < qp.sndUna {
 		w := qp.wqes[0]
 		qp.wqes = qp.wqes[1:]

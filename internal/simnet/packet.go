@@ -8,6 +8,7 @@ package simnet
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -147,6 +148,12 @@ type Packet struct {
 	txEpoch   uint64
 	peerEpoch uint64
 
+	// impairDrop, when nonzero, is the obs.Reason a gray-failure impairment
+	// assigned this frame at dequeue: no delivery is scheduled and the frame
+	// is recorded and released when serialization completes. Internal to
+	// Port (impair.go).
+	impairDrop obs.Reason
+
 	// inPool marks a packet currently parked in the pool, so a second
 	// Release of the same packet fails loudly instead of corrupting whoever
 	// drew it from the pool in between. Internal to pool.go.
@@ -170,6 +177,7 @@ func (p *Packet) Clone() *Packet {
 	*q = *p
 	q.acct = nil
 	q.txEpoch, q.peerEpoch = 0, 0
+	q.impairDrop = obs.RNone
 	return q
 }
 

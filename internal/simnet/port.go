@@ -45,6 +45,14 @@ type PortStats struct {
 	// frames whose link failed before delivery. It is a subset of nothing —
 	// a separate category from congestion Drops.
 	FaultDrops uint64
+
+	// Gray-failure impairment drops (see impair.go), each its own category:
+	// ImpairDrops counts frames lost to independent or burst wire loss,
+	// CorruptDrops frames killed by injected CRC corruption, StormDrops
+	// control frames lost to a control-plane loss storm.
+	ImpairDrops  uint64
+	CorruptDrops uint64
+	StormDrops   uint64
 }
 
 // Port is one end of a full-duplex link. The port owns its egress queue and
@@ -81,6 +89,10 @@ type Port struct {
 	// the link died are discarded at delivery time.
 	down  bool
 	epoch uint64
+
+	// Gray-failure state: nil on a healthy egress (the nil check is the
+	// entire disabled cost); see impair.go.
+	imp *impairState
 
 	// Typed event handlers, allocated once with the port so per-packet
 	// scheduling boxes nothing (&pt.txDoneH is an interior pointer).
@@ -124,6 +136,12 @@ func (h *txDoneHandler) OnEvent(_ *sim.Engine, arg any) {
 	if p.acct != nil {
 		p.acct.release(p.Size())
 		p.acct = nil
+	}
+	if p.impairDrop != obs.RNone {
+		// The impaired wire killed this frame (impair.go); no delivery was
+		// scheduled, so serialization end is where it dies.
+		pt.recordImpairDrop(p)
+		p.Release()
 	}
 	if pt.OnDrain != nil && pt.qBytes <= pt.LowWater {
 		pt.OnDrain()
@@ -444,6 +462,10 @@ func (pt *Port) trySend() {
 	tx := pt.TxTime(size)
 	pt.Stats.TxPackets++
 	pt.Stats.TxBytes += uint64(size)
+	if pt.imp != nil {
+		pt.impairSend(p, tx)
+		return
+	}
 	if peer := pt.Peer; peer.eng != pt.eng {
 		// Cross-LP link: serialization completes on this LP, but delivery —
 		// and packet ownership — hands off to the receiving LP through the

@@ -25,6 +25,15 @@ type Metrics struct {
 	// (switch ports and host NICs).
 	FaultDrops uint64
 
+	// ImpairDrops counts frames lost to gray-failure wire impairments
+	// (iid and Gilbert-Elliott burst loss), summed over every port.
+	ImpairDrops uint64
+	// CorruptDrops counts frames lost to modeled CRC corruption.
+	CorruptDrops uint64
+	// CtrlStormDrops counts control packets lost to targeted control-plane
+	// loss storms.
+	CtrlStormDrops uint64
+
 	// MFTWipes counts multicast groups lost to switch crashes (volatile
 	// MFTs), summed over accelerators.
 	MFTWipes uint64
@@ -52,6 +61,9 @@ func (c *Cluster) Metrics() Metrics {
 		CrashDrops:        f.Total(obs.FCrashDrops),
 		NoRouteDrops:      f.Total(obs.FNoRouteDrops),
 		FaultDrops:        f.Total(obs.FFaultDrops),
+		ImpairDrops:       f.Total(obs.FImpairDrops),
+		CorruptDrops:      f.Total(obs.FCorruptDrops),
+		CtrlStormDrops:    f.Total(obs.FStormDrops),
 		MFTWipes:          f.Total(obs.FMFTWipes),
 		EpochRebuilds:     f.Total(obs.FEpochRebuilds),
 		StaleMRPDropped:   f.Total(obs.FStaleMRPDropped),
@@ -72,10 +84,16 @@ func (c *Cluster) metricsWalk() Metrics {
 		m.NoRouteDrops += sw.NoRouteDrops
 		for _, pt := range sw.Ports {
 			m.FaultDrops += pt.Stats.FaultDrops
+			m.ImpairDrops += pt.Stats.ImpairDrops
+			m.CorruptDrops += pt.Stats.CorruptDrops
+			m.CtrlStormDrops += pt.Stats.StormDrops
 		}
 	}
 	for _, h := range c.Net.Hosts {
 		m.FaultDrops += h.NIC.Stats.FaultDrops
+		m.ImpairDrops += h.NIC.Stats.ImpairDrops
+		m.CorruptDrops += h.NIC.Stats.CorruptDrops
+		m.CtrlStormDrops += h.NIC.Stats.StormDrops
 	}
 	for _, a := range c.Accels {
 		m.MFTWipes += a.Stats.MFTWipes
@@ -103,6 +121,9 @@ func (m Metrics) String() string {
 	add("crashDrops", m.CrashDrops)
 	add("noRouteDrops", m.NoRouteDrops)
 	add("faultDrops", m.FaultDrops)
+	add("impairDrops", m.ImpairDrops)
+	add("corruptDrops", m.CorruptDrops)
+	add("ctrlStormDrops", m.CtrlStormDrops)
 	add("mftWipes", m.MFTWipes)
 	add("epochRebuilds", m.EpochRebuilds)
 	add("staleMRPDropped", m.StaleMRPDropped)

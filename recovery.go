@@ -123,7 +123,8 @@ type ResilientGroup struct {
 	c         *Cluster
 	fallback  bool
 	safeguard *core.Safeguard
-	root      int // current native source (member index)
+	root      int     // current native source (member index)
+	bestRate  float64 // best progress norm carried across safeguard re-arms
 
 	sendQP  map[[2]int]*roce.QP // fallback pairwise QPs, [from][to]
 	consec  int                 // consecutive successful re-registrations
@@ -196,9 +197,15 @@ func (r *ResilientGroup) event(s string) {
 	}
 }
 
-// armSafeguard watches the current source QP for throughput collapse.
+// armSafeguard watches the current source QP for throughput collapse. The
+// best-rate norm is carried across re-arms (Safeguard.Prime): a restore
+// onto a still-degraded link must be judged against the pre-fault norm,
+// not have the degraded rate adopted as the new baseline.
 func (r *ResilientGroup) armSafeguard() {
 	if r.safeguard != nil {
+		if b := r.safeguard.Best(); b > r.bestRate {
+			r.bestRate = b
+		}
 		r.safeguard.Stop()
 	}
 	r.safeguard = core.NewSafeguard(r.c.Eng, r.Group.Members[r.root].QP,
@@ -206,6 +213,9 @@ func (r *ResilientGroup) armSafeguard() {
 			r.Stats.Trips++
 			r.degrade("safeguard tripped: " + reason)
 		})
+	if r.bestRate > 0 {
+		r.safeguard.Prime(r.bestRate)
+	}
 }
 
 // Bcast reliably delivers size bytes from the member at index rootIdx to
