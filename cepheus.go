@@ -68,6 +68,21 @@ type Options struct {
 	// byte-identical to a multi-worker run's — the property
 	// TestTraceSeqParEquivalence pins down. Implied by Workers >= 2.
 	Partition bool
+
+	// PodPartition coarsens the partition to one LP per topology domain
+	// (topo.PartitionPods): on a fat-tree, one LP per pod plus one per core
+	// group instead of one per switch. Fewer, fatter LPs mean less cross-LP
+	// traffic and per-window overhead at scale; results remain byte-identical
+	// across worker counts for a fixed partition choice. No effect unless the
+	// partitioned coordinator is active (Workers >= 2 or Partition), or on
+	// topologies without declared domains (falls back to per-switch LPs).
+	PodPartition bool
+
+	// CorePropDelay overrides the propagation delay of the fat-tree's
+	// aggregation↔core trunks (0 = PropDelay). Under PodPartition the trunks
+	// are the only cross-LP links, so this is also the conservative
+	// lookahead. Only NewFatTree consults it.
+	CorePropDelay sim.Time
 }
 
 func (o *Options) fill() {
@@ -126,7 +141,11 @@ func NewTestbed(n int, opts Options) *Cluster {
 func NewFatTree(k int, opts Options) *Cluster {
 	opts.fill()
 	eng := sim.New(opts.Seed)
-	return wire(eng, topo.FatTreeWith(eng, k, opts.LinkRate, opts.PropDelay), opts)
+	coreProp := opts.CorePropDelay
+	if coreProp == 0 {
+		coreProp = opts.PropDelay
+	}
+	return wire(eng, topo.FatTreeWithTrunk(eng, k, opts.LinkRate, opts.PropDelay, coreProp), opts)
 }
 
 // NewLeafSpine builds a two-tier Clos with the given leaf/spine counts and
@@ -144,7 +163,11 @@ func wire(eng *sim.Engine, net *topo.Network, opts Options) *Cluster {
 		// built on top picks up its device's LP engine rather than the
 		// build-time scratch engine (which Partition disconnects).
 		c.Par = sim.NewParallel(opts.Seed, max(opts.Workers, 1))
-		net.Partition(c.Par)
+		if opts.PodPartition {
+			net.PartitionPods(c.Par)
+		} else {
+			net.Partition(c.Par)
+		}
 		c.Eng = nil
 	}
 	for _, h := range net.Hosts {

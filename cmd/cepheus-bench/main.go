@@ -74,7 +74,7 @@ var (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiments to run: fig1d|fig7b|fig8|fig9|rdmc|table1|fig10|fig11|hpl-large|fig12|fig13|fig14|safeguard|reduce|pstrain|pdes|traceov")
+	only := flag.String("only", "", "comma-separated experiments to run: fig1d|fig7b|fig8|fig9|rdmc|table1|fig10|fig11|hpl-large|fig12|fig13|fig14|safeguard|reduce|pstrain|pdes|scale1024|traceov")
 	flag.Parse()
 	os.Exit(run(*only))
 }
@@ -124,7 +124,7 @@ func run(only string) int {
 		{"hpl-large", hplLarge}, {"fig12", fig12}, {"fig13", fig13},
 		{"fig14", fig14}, {"safeguard", safeguard},
 		{"reduce", reduceExt}, {"pstrain", psTrain}, {"pdes", pdes},
-		{"traceov", traceov},
+		{"scale1024", scale1024}, {"traceov", traceov},
 	}
 	want := map[string]bool{}
 	for _, n := range strings.Split(only, ",") {
@@ -610,42 +610,66 @@ func psTrain() {
 	fmt.Print(t)
 }
 
-// pdes sweeps the lookahead-partitioned parallel executor's worker counts on
-// the BenchmarkScaleEvents workload (1MB Cepheus multicast to 64 receivers on
-// the 128-host fat-tree under DCQCN). Simulated results are byte-identical
-// across rows — the determinism suite enforces it — so the sweep isolates
-// wall-clock scaling of the executor itself.
-func pdes() {
-	t := exp.NewTable("PDES: parallel executor scaling (1MB bcast, 65 members, k=8 fat-tree, DCQCN)",
-		"workers", "jct", "events", "wall(ms)", "events/s(M)", "speedup")
+// workerSweep is the shared driver behind pdes and scale1024: a 1MB Cepheus
+// broadcast to `members` members round-robined across a k-ary fat-tree's
+// pods under DCQCN, swept over worker counts on the pod-level partition
+// (k pod LPs + k/2 core-group LPs). Members land on every pod — member i
+// goes to pod i mod k — so the replication and delivery work parallelizes
+// instead of concentrating on one pod LP. Workers=1 runs the sequential
+// engine, so the speedup column is against the single-threaded baseline,
+// not a serialized coordinator. Simulated results are byte-identical across
+// rows — the determinism suite enforces it — so the sweep isolates
+// wall-clock scaling of the executor.
+func workerSweep(name string, k, members int, workers []int) {
+	t := exp.NewTable(fmt.Sprintf("%s: pod-partitioned executor scaling (1MB bcast, %d members, k=%d fat-tree, %d hosts, DCQCN)",
+		name, members, k, k*k*k/4),
+		"workers", "lps", "jct", "events", "wall(ms)", "events/s(M)", "speedup")
 	var base float64
-	for _, w := range []int{1, 2, 4, 8} {
+	for _, w := range workers {
 		core.ResetMcstIDs()
 		tr := roce.DefaultConfig()
 		tr.DCQCN = true
-		c := cepheus.NewFatTree(8, cepheus.Options{Transport: &tr, Workers: w})
-		nodes := make([]int, 65)
+		c := cepheus.NewFatTree(k, cepheus.Options{Transport: &tr, Workers: w, PodPartition: true})
+		hostsPerPod := k * k / 4
+		nodes := make([]int, members)
 		for i := range nodes {
-			nodes[i] = i
+			nodes[i] = (i%k)*hostsPerPod + i/k
 		}
-		b, err := c.Broadcaster(cepheus.SchemeCepheus, nodes, 65)
+		b, err := c.Broadcaster(cepheus.SchemeCepheus, nodes, members)
 		if err != nil {
 			panic(err)
 		}
+		lps := 1
+		if c.Par != nil {
+			lps = c.Par.NumLPs()
+		}
 		t0 := time.Now()
-		jct := runBcast(c, b, 0, 1<<20, fmt.Sprintf("workers=%d", w))
+		jct := runBcast(c, b, nodes[0], 1<<20, fmt.Sprintf("workers=%d", w))
 		wall := time.Since(t0)
 		c.Close()
 		rec := records[len(records)-1]
-		if w == 1 {
+		if w == workers[0] {
 			base = rec.EventsPerSec
 		}
-		t.Add(fmt.Sprint(w), sim.Time(jct).String(), fmt.Sprint(rec.EventsRun),
+		t.Add(fmt.Sprint(w), fmt.Sprint(lps), sim.Time(jct).String(), fmt.Sprint(rec.EventsRun),
 			fmt.Sprintf("%.1f", float64(wall.Nanoseconds())/1e6),
 			fmt.Sprintf("%.2f", rec.EventsPerSec/1e6),
 			fmt.Sprintf("%.2fx", rec.EventsPerSec/base))
 	}
 	fmt.Print(t)
+}
+
+// pdes sweeps worker counts on the BenchmarkScaleEvents workload: 65 dense
+// members on the 128-host (k=8) fat-tree, 12 pod-partition LPs.
+func pdes() {
+	workerSweep("PDES", 8, 65, []int{1, 2, 4, 8})
+}
+
+// scale1024 is the paper-scale capstone: a 257-member broadcast on the
+// 1024-host (k=16) fat-tree of §V-C, members spread across all 16 pods
+// (16-17 per pod), 24 pod-partition LPs.
+func scale1024() {
+	workerSweep("scale1024", 16, 257, []int{1, 2, 4, 8})
 }
 
 // traceov measures the flight recorder's events/s cost on the pdes workload

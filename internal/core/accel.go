@@ -87,6 +87,12 @@ type Accel struct {
 	mfts    map[simnet.Addr]*MFT
 	reduces map[simnet.Addr]*reduceState
 
+	// One-entry MFT lookup cache: a switch in a multicast hot path sees the
+	// same group on nearly every packet, so this turns the per-packet map
+	// access into a compare. Invalidated on any mfts mutation.
+	cacheID  simnet.Addr
+	cacheMFT *MFT
+
 	// mgLoad counts how many groups route through each port, for the
 	// group-level load balancing MRP performs when picking among ECMP
 	// candidates (§III-C).
@@ -129,6 +135,7 @@ func (a *Accel) onSwitchRestart() {
 	a.reduces = nil
 	a.mgLoad = nil
 	a.lastUnknownNack = nil
+	a.cacheID, a.cacheMFT = 0, nil
 }
 
 // recMFT captures one MFT lifecycle event for a group; aVal is the epoch
@@ -170,7 +177,13 @@ func (a *Accel) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) boo
 	if !p.Dst.IsMulticast() {
 		return false
 	}
-	mft := a.mfts[p.Dst]
+	mft := a.cacheMFT
+	if p.Dst != a.cacheID || mft == nil {
+		mft = a.mfts[p.Dst]
+		if mft != nil {
+			a.cacheID, a.cacheMFT = p.Dst, mft
+		}
+	}
 	if mft == nil {
 		// No registration reached this switch — or a crash wiped it. Never
 		// forward blind: drop, and for data packets NACK the source so its
@@ -247,6 +260,7 @@ func (a *Accel) handleMRP(p *simnet.Packet, in *simnet.Port) {
 		a.recMFT(obs.KMFTRebuild, pay.McstID, int64(pay.Epoch))
 		mft = nil
 		delete(a.mfts, pay.McstID)
+		a.cacheID, a.cacheMFT = 0, nil
 	}
 	if mft == nil {
 		if a.Cfg.MaxGroups > 0 && len(a.mfts) >= a.Cfg.MaxGroups {

@@ -8,6 +8,16 @@ import "repro/internal/sim"
 // ECN-CE) lives in QP.handleData; the congestion point (RED/ECN marking)
 // lives in simnet's egress queues. Cepheus leaves all of this untouched and
 // only filters which CNPs reach the sender (§III-D).
+//
+// The alpha-decay and rate-increase timers are virtual: instead of parking
+// two heap entries per QP that fire every few tens of microseconds whether
+// or not the QP is active (hundreds of standing scheduler slots on a big
+// group, deepening every sift), each keeps only its next deadline and the
+// state is caught up in closed form at the points where it is observed —
+// emission pacing, CNP arrival, byte-counter ticks, and Rate() sampling.
+// Catch-up replays the exact per-tick float arithmetic in deadline order,
+// so the state a QP observes is bit-identical to timer-driven execution,
+// and the elided firings are credited to the engine's event ledger.
 type dcqcn struct {
 	qp *QP
 	p  DCQCNParams
@@ -21,44 +31,54 @@ type dcqcn struct {
 	tCount       int // increase events from the timer since last cut
 	bCount       int // increase events from the byte counter since last cut
 
-	alphaTimer *sim.Timer
-	incTimer   *sim.Timer
+	alphaAt sim.Time // next virtual alpha-decay deadline
+	incAt   sim.Time // next virtual rate-increase deadline
 }
 
 func newDCQCN(qp *QP, p DCQCNParams) *dcqcn {
 	line := qp.nic.Host.NIC.RateBps
 	c := &dcqcn{qp: qp, p: p, rc: line, rt: line, alpha: 1, lastDecrease: -1 << 60}
-	// Both rate timers live as long as the QP and are re-armed in place —
-	// they fire (or are pushed back by a CNP) thousands of times per flow.
-	c.alphaTimer = qp.eng.NewTimer(c.onAlphaTimer)
-	c.incTimer = qp.eng.NewTimer(c.onIncTimer)
 	c.armAlphaTimer()
 	c.armIncTimer()
 	return c
 }
 
 func (c *dcqcn) armAlphaTimer() {
-	c.alphaTimer.Reset(c.p.AlphaTimer)
+	c.alphaAt = c.qp.eng.Now() + c.p.AlphaTimer
 }
 
 func (c *dcqcn) armIncTimer() {
-	c.incTimer.Reset(c.p.IncTimer)
+	c.incAt = c.qp.eng.Now() + c.p.IncTimer
 }
 
-func (c *dcqcn) onAlphaTimer() {
-	c.alpha *= 1 - c.p.G
-	c.armAlphaTimer()
-}
-
-func (c *dcqcn) onIncTimer() {
-	c.tCount++
-	c.increase()
-	c.armIncTimer()
+// catchUp applies every virtual timer tick due at or before now, in the
+// order the scheduler would have fired them. The two tick kinds touch
+// disjoint state (alpha vs rt/rc/tCount), so replaying each stream
+// separately preserves the timer-driven result exactly.
+func (c *dcqcn) catchUp() {
+	now := c.qp.eng.Now()
+	if c.alphaAt > now && c.incAt > now {
+		return
+	}
+	n := uint64(0)
+	for c.alphaAt <= now {
+		c.alpha *= 1 - c.p.G
+		c.alphaAt += c.p.AlphaTimer
+		n++
+	}
+	for c.incAt <= now {
+		c.tCount++
+		c.increase()
+		c.incAt += c.p.IncTimer
+		n++
+	}
+	c.qp.eng.Credit(n)
 }
 
 // onCNP is the DCQCN cut: alpha absorbs the congestion signal and the rate
 // halves proportionally to it, at most once per MinDecreaseNs.
 func (c *dcqcn) onCNP() {
+	c.catchUp()
 	c.alpha = (1-c.p.G)*c.alpha + c.p.G
 	c.armAlphaTimer()
 	now := c.qp.eng.Now()
@@ -76,6 +96,7 @@ func (c *dcqcn) onCNP() {
 }
 
 func (c *dcqcn) onBytesSent(n int) {
+	c.catchUp()
 	c.bytes += n
 	for c.bytes >= c.p.ByteCounter {
 		c.bytes -= c.p.ByteCounter

@@ -123,6 +123,8 @@ func TestDCQCNAlphaDecays(t *testing.T) {
 	q0.cc.onCNP()
 	a0 := q0.cc.alpha
 	eng.RunUntil(5 * sim.Millisecond)
+	// The decay timer is virtual: ticks apply when the state is observed.
+	q0.cc.catchUp()
 	if q0.cc.alpha >= a0 {
 		t.Fatalf("alpha %.4f did not decay from %.4f", q0.cc.alpha, a0)
 	}

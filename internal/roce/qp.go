@@ -77,6 +77,9 @@ type QP struct {
 	nextTx        sim.Time
 	sendScheduled bool
 	rto           *sim.Timer
+	rtoAt         sim.Time // logical retransmission deadline (0: stopped)
+	rtoArmedAt    sim.Time // when the physical rto timer fires (0: unarmed)
+	emitT         *sim.Timer
 	curRTO        sim.Time // backed-off timeout (0: Cfg.RetxTimeout)
 	lastRewindE   uint64
 	lastRewindAt  sim.Time
@@ -119,9 +122,11 @@ func newQP(r *RNIC, qpn uint32) *QP {
 		lastCNP: -1 << 60, lastRewindAt: -1 << 60,
 		lastNackedPSN: ^uint64(0), lastNackedAt: -1 << 60,
 	}
-	// One re-armable RTO per QP for the connection's lifetime: re-arming on
-	// every ACK moves the single heap entry instead of churning the scheduler.
+	// One re-armable RTO and one emission timer per QP for the connection's
+	// lifetime: re-arming on every ACK or paced send moves the single heap
+	// entry instead of churning the scheduler.
 	qp.rto = r.eng.NewTimer(qp.onRTO)
+	qp.emitT = r.eng.NewTimer(qp.emit)
 	if r.Cfg.IRN {
 		qp.ooo = make(map[uint64]oooPkt)
 	}
@@ -185,7 +190,7 @@ func (qp *QP) Flush() {
 	qp.wqes = nil
 	qp.sndUna, qp.sndNxt, qp.maxSent = qp.tail, qp.tail, qp.tail
 	qp.rtq = nil
-	qp.rto.Stop()
+	qp.stopRTO()
 	qp.curRTO = 0
 	// Responder: discard partial assembly and buffered out-of-order data so
 	// a pre-fault message prefix can never merge with post-recovery bytes.
@@ -206,6 +211,7 @@ func (qp *QP) Outstanding() uint64 { return qp.tail - qp.sndUna }
 // Rate returns the requester's current sending rate in bps.
 func (qp *QP) Rate() float64 {
 	if qp.cc != nil {
+		qp.cc.catchUp()
 		return qp.cc.rc
 	}
 	return qp.nic.Host.NIC.RateBps
@@ -296,14 +302,20 @@ func (qp *QP) trySend() {
 		at = qp.nextTx
 	}
 	qp.sendScheduled = true
-	qp.eng.ScheduleHandler(at, qp, nil)
+	// Re-arming the one emission timer moves its heap entry in place (and a
+	// pacer firing that immediately re-arms never leaves the heap top), where
+	// scheduling a fresh event per emission would push and pop one each time.
+	qp.emitT.Reset(at - qp.eng.Now())
 }
-
-// OnEvent implements sim.Handler: the QP's scheduled emission slot.
-func (qp *QP) OnEvent(*sim.Engine, any) { qp.emit() }
 
 func (qp *QP) emit() {
 	qp.sendScheduled = false
+	if qp.cc != nil {
+		// Apply virtual rate-timer ticks due before this emission first, as
+		// the scheduler would have: within the event, time is frozen, so the
+		// catch-ups inside Rate() and onBytesSent() below are then no-ops.
+		qp.cc.catchUp()
+	}
 	psn, retx, ok := qp.nextToSend()
 	if !ok {
 		return
@@ -385,13 +397,28 @@ func (qp *QP) wqeFor(psn uint64) *WQE {
 	return nil
 }
 
+// armRTO moves the logical retransmission deadline to now+timeout. The
+// physical timer is lazy: it only re-keys the heap when it would otherwise
+// fire too late, so the per-ACK and per-send re-arms on the hot path are two
+// field writes. A stale (early) firing defers itself in onRTO — one heap op
+// per timeout period instead of one per packet.
 func (qp *QP) armRTO() {
 	to := qp.curRTO
 	if to <= 0 {
 		to = qp.nic.Cfg.RetxTimeout
 	}
-	qp.rto.Reset(to)
+	now := qp.eng.Now()
+	qp.rtoAt = now + to
+	if qp.rtoArmedAt == 0 || qp.rtoArmedAt > qp.rtoAt {
+		qp.rto.Reset(qp.rtoAt - now)
+		qp.rtoArmedAt = qp.rtoAt
+	}
 }
+
+// stopRTO cancels the logical deadline. An armed physical timer is left to
+// fire once and find nothing due, which is cheaper than removing it from
+// the heap on every full-acknowledgment edge.
+func (qp *QP) stopRTO() { qp.rtoAt = 0 }
 
 // backoffRTO grows the effective timeout after an expiry, when enabled.
 func (qp *QP) backoffRTO() {
@@ -411,9 +438,18 @@ func (qp *QP) backoffRTO() {
 }
 
 func (qp *QP) onRTO() {
-	if qp.sndUna >= qp.tail {
-		return // everything acknowledged; nothing outstanding
+	qp.rtoArmedAt = 0
+	if qp.rtoAt == 0 || qp.sndUna >= qp.tail {
+		return // logically stopped, or everything acknowledged
 	}
+	if now := qp.eng.Now(); qp.rtoAt > now {
+		// Stale wakeup: the deadline moved while the physical timer stayed
+		// put (armRTO's lazy re-arm). Chase the live deadline.
+		qp.rto.Reset(qp.rtoAt - now)
+		qp.rtoArmedAt = qp.rtoAt
+		return
+	}
+	qp.rtoAt = 0
 	if qp.backpressured || qp.nic.nicBackpressured() {
 		// Feedback is stalled because *we* cannot transmit (local PFC
 		// pause); retransmitting would only deepen the backlog.
@@ -469,7 +505,7 @@ func (qp *QP) advanceCum(acked uint64) {
 		}
 	}
 	if qp.sndUna >= qp.tail {
-		qp.rto.Stop()
+		qp.stopRTO()
 	} else {
 		qp.armRTO()
 	}

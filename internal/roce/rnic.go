@@ -42,9 +42,13 @@ type RNIC struct {
 
 	eng     *sim.Engine
 	qps     map[uint32]*QP
+	lastQPN uint32 // receive's one-entry demux cache (lastQP nil = invalid)
+	lastQP  *QP
 	nextQPN uint32
 	nextMsg uint64
 	cpuNext sim.Time
+	cpuQ    taskRing   // host-stack work queue, FIFO in completion time
+	cpuT    *sim.Timer // one re-armable timer walks cpuQ (see stackDefer)
 
 	// blocked holds QPs deferred by NIC backpressure, resumed on drain.
 	blocked []*QP
@@ -142,33 +146,106 @@ func (r *RNIC) CreateQP() *QP {
 	qp := newQP(r, r.nextQPN)
 	r.qps[r.nextQPN] = qp
 	r.nextQPN++
+	r.lastQPN, r.lastQP = 0, nil
 	return qp
 }
 
 // QP returns the queue pair with the given number, or nil.
 func (r *RNIC) QP(qpn uint32) *QP { return r.qps[qpn] }
 
+// cpuTask is one unit of queued host-stack work: run fn at time at.
+type cpuTask struct {
+	at sim.Time
+	fn func()
+}
+
+// taskRing is a FIFO of cpuTasks backed by a power-of-two circular buffer,
+// the same shape as simnet's flight ring. Completion times are nondecreasing
+// because stackDefer serializes work on cpuNext.
+type taskRing struct {
+	buf        []cpuTask
+	head, tail int // head = next pop, tail = next push slot
+	n          int
+}
+
+func (r *taskRing) len() int { return r.n }
+
+func (r *taskRing) grow() {
+	nb := make([]cpuTask, max(8, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head, r.tail = nb, 0, r.n
+}
+
+func (r *taskRing) pushBack(t cpuTask) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail] = t
+	r.tail = (r.tail + 1) & (len(r.buf) - 1)
+	r.n++
+}
+
+func (r *taskRing) peekFront() *cpuTask { return &r.buf[r.head] }
+
+func (r *taskRing) popFront() cpuTask {
+	t := r.buf[r.head]
+	r.buf[r.head].fn = nil // drop the closure reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return t
+}
+
 // stackDefer runs fn after cost nanoseconds of serialized host-stack time.
 // The stack is a single serial resource: concurrent posts/deliveries queue
 // behind each other, which bounds message rate the way a real verbs stack
 // and CPU core do.
+//
+// Tasks complete in nondecreasing cpuNext order, so instead of a heap event
+// per task the queue is a FIFO walked by one re-armable timer: only the
+// head task occupies the event heap, and each completion re-arms in place.
 func (r *RNIC) stackDefer(cost sim.Time, fn func()) {
 	start := r.eng.Now()
 	if r.cpuNext > start {
 		start = r.cpuNext
 	}
 	r.cpuNext = start + cost
-	r.eng.Schedule(r.cpuNext, fn)
+	r.cpuQ.pushBack(cpuTask{at: r.cpuNext, fn: fn})
+	if r.cpuQ.len() == 1 {
+		if r.cpuT == nil {
+			r.cpuT = r.eng.NewTimer(r.onCPU)
+		}
+		r.cpuT.Reset(r.cpuNext - r.eng.Now())
+	}
+}
+
+// onCPU completes the head host-stack task and re-arms for the next one.
+func (r *RNIC) onCPU() {
+	t := r.cpuQ.popFront()
+	if r.cpuQ.len() > 0 {
+		// The timer fired exactly at t.at, so it is "now" without a clock read.
+		r.cpuT.Reset(r.cpuQ.peekFront().at - t.at)
+	}
+	t.fn()
 }
 
 func (r *RNIC) receive(p *simnet.Packet) {
 	switch p.Type {
 	case simnet.Data, simnet.Ack, simnet.Nack, simnet.CNP:
-		qp, ok := r.qps[p.DstQP]
-		if !ok {
-			// Packets to a torn-down or unknown QP are dropped silently,
-			// as an RNIC drops packets with no matching QP context.
-			return
+		// One-entry demux cache: a NIC's traffic is dominated by one QP at
+		// a time, so the common case skips the map access. CreateQP
+		// invalidates it (QPs are never deleted).
+		qp := r.lastQP
+		if qp == nil || p.DstQP != r.lastQPN {
+			var ok bool
+			qp, ok = r.qps[p.DstQP]
+			if !ok {
+				// Packets to a torn-down or unknown QP are dropped silently,
+				// as an RNIC drops packets with no matching QP context.
+				return
+			}
+			r.lastQPN, r.lastQP = p.DstQP, qp
 		}
 		qp.handle(p)
 	default:

@@ -112,6 +112,16 @@ type Engine struct {
 	par *Parallel
 	lp  int32
 	out []outbox // per-destination-LP mailboxes, indexed by LP id
+
+	// Inbound cross-LP slab: messages injected by the coordinator at window
+	// barriers, kept sorted by (at, seq) and consumed from slabIdx forward.
+	// Slab entries never enter the heap — Step merges the two streams on the
+	// fly — so a cross-LP hand-off costs zero heap operations on the
+	// destination. slabScratch is the retired backing array, recycled on the
+	// next merge so steady-state injection allocates nothing.
+	slab        []crossMsg
+	slabIdx     int
+	slabScratch []crossMsg
 }
 
 // New returns an engine whose RNG is seeded with seed. Two engines built with
@@ -129,21 +139,37 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // EventsRun reports how many events have executed so far.
 func (e *Engine) EventsRun() uint64 { return e.nRun }
 
-// Pending reports how many events are currently scheduled. Stopped timers do
+// Credit adds n to the executed-event count without dispatching anything.
+// The burst packet path uses it to keep event accounting comparable across
+// scheduler generations: a train of n back-to-back frames executes as one
+// serialization-complete timer plus n arrivals, but each frame still
+// represents the two per-frame events (tx done, delivery) the vector path
+// replaced, so the train credits the difference.
+func (e *Engine) Credit(n uint64) { e.nRun += n }
+
+// Pending reports how many events are currently scheduled, including
+// barrier-injected cross-LP slab messages not yet consumed. Stopped timers do
 // not linger here: cancelling removes the heap entry immediately.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.events) + (len(e.slab) - e.slabIdx) }
 
 // LP returns this engine's logical-process index within a Parallel run
 // (0 for a standalone engine).
 func (e *Engine) LP() int { return int(e.lp) }
 
-// NextEventTime returns the timestamp of the earliest pending event, and
-// whether one exists.
+// NextEventTime returns the timestamp of the earliest pending event — heap or
+// cross-LP slab — and whether one exists.
 func (e *Engine) NextEventTime() (Time, bool) {
-	if len(e.events) == 0 {
-		return 0, false
+	t := Time(0)
+	ok := false
+	if len(e.events) > 0 {
+		t, ok = e.events[0].at, true
 	}
-	return e.events[0].at, true
+	if e.slabIdx < len(e.slab) {
+		if mt := e.slab[e.slabIdx].at; !ok || mt < t {
+			t, ok = mt, true
+		}
+	}
+	return t, ok
 }
 
 // ---- 4-ary heap of pointer-free key records ----
@@ -367,20 +393,53 @@ func (t *Timer) Fired() bool { return t.fired }
 
 // Step executes the next pending event, advancing the clock to its timestamp.
 // It reports whether an event was executed.
+//
+// Two fast paths keep the hot loop cheap. A cross-LP slab message earlier
+// than the heap top dispatches straight from the slab — no heap traffic at
+// all. A timer at the heap top dispatches in place: if its callback re-arms
+// it (the dominant pattern for port serialization chains and QP pacers),
+// Reset re-keys the existing entry and the fire costs one sift instead of a
+// pop/push pair plus slot churn.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 || e.stopped {
+	if e.stopped {
 		return false
+	}
+	if e.slabIdx < len(e.slab) {
+		m := &e.slab[e.slabIdx]
+		if len(e.events) == 0 || m.at < e.events[0].at ||
+			(m.at == e.events[0].at && m.seq < e.events[0].seq) {
+			e.slabIdx++
+			e.now = m.at
+			e.nRun++
+			h, arg := m.h, m.arg
+			*m = crossMsg{} // drop refs for the GC
+			h.OnEvent(e, arg)
+			return true
+		}
+	}
+	if len(e.events) == 0 {
+		return false
+	}
+	top := e.events[0]
+	if tm := e.slots[top.slot].tm; tm != nil {
+		e.now = top.at
+		e.nRun++
+		tm.fired = true
+		tm.fn()
+		if tm.slot == top.slot && tm.fired {
+			// Neither Reset (clears fired; may recycle the same slot) nor
+			// Stop (clears slot) ran in the callback: retire the entry. The
+			// back-pointer finds it even if other heap traffic moved the key.
+			e.remove(int(e.slots[top.slot].heap))
+		}
+		return true
 	}
 	at, sl := e.pop()
 	e.now = at
 	e.nRun++
-	switch {
-	case sl.tm != nil:
-		sl.tm.fired = true
-		sl.tm.fn()
-	case sl.h != nil:
+	if sl.h != nil {
 		sl.h.OnEvent(e, sl.arg)
-	default:
+	} else {
 		sl.fn()
 	}
 	return true
@@ -394,7 +453,11 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && !e.stopped && e.events[0].at <= t {
+	for !e.stopped {
+		at, ok := e.NextEventTime()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if !e.stopped && e.now < t {
@@ -436,11 +499,58 @@ func (e *Engine) ScheduleRemote(dst *Engine, at Time, h Handler, arg any) {
 	e.out[dst.lp] = append(e.out[dst.lp], crossMsg{at: at, h: h, arg: arg})
 }
 
+// injectSlab hands this engine one window barrier's worth of inbound cross-LP
+// messages, already sorted by the coordinator's canonical (timestamp, source
+// LP, send order) rule. Each message takes the next local sequence number in
+// that order — exactly the numbering the heap-insertion drain used to assign
+// — and the batch is merged with any not-yet-consumed slab remainder.
+//
+// The merge only compares timestamps: every remainder entry survived at least
+// one full window (runWindow consumed everything earlier), so its timestamp
+// is at or beyond the window end that every new message's timestamp is also
+// bounded below by, and its sequence number is older. Taking remainder
+// entries first on timestamp ties is therefore (at, seq) order.
+func (e *Engine) injectSlab(msgs []crossMsg) {
+	for i := range msgs {
+		e.seq++
+		msgs[i].seq = e.seq
+	}
+	rem := e.slab[e.slabIdx:]
+	if len(rem) == 0 {
+		e.slab = append(e.slab[:0], msgs...)
+		e.slabIdx = 0
+		return
+	}
+	merged := e.slabScratch[:0]
+	i, j := 0, 0
+	for i < len(rem) && j < len(msgs) {
+		if rem[i].at <= msgs[j].at {
+			merged = append(merged, rem[i])
+			i++
+		} else {
+			merged = append(merged, msgs[j])
+			j++
+		}
+	}
+	merged = append(merged, rem[i:]...)
+	merged = append(merged, msgs[j:]...)
+	for k := range rem {
+		rem[k] = crossMsg{} // old backing array: drop refs for the GC
+	}
+	e.slabScratch = e.slab[:0]
+	e.slab = merged
+	e.slabIdx = 0
+}
+
 // runWindow executes every pending event with timestamp strictly before end,
 // leaving the clock at the last executed event. It is the per-LP body of one
 // lookahead window of a Parallel run.
 func (e *Engine) runWindow(end Time) {
-	for len(e.events) > 0 && !e.stopped && e.events[0].at < end {
+	for !e.stopped {
+		at, ok := e.NextEventTime()
+		if !ok || at >= end {
+			return
+		}
 		e.Step()
 	}
 }

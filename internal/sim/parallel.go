@@ -27,9 +27,13 @@ import (
 )
 
 // crossMsg is one cross-LP event hand-off: the scheduled handler and its
-// absolute timestamp, buffered until the next window barrier.
+// absolute timestamp, buffered until the next window barrier. seq is assigned
+// by the destination engine when the coordinator injects the message into its
+// slab (Engine.injectSlab), giving slab entries the same total order as
+// heap events.
 type crossMsg struct {
 	at  Time
+	seq uint64
 	h   Handler
 	arg any
 }
@@ -93,14 +97,26 @@ type Parallel struct {
 	finalized bool
 
 	// Barrier scratch, reused across windows to keep the coordinator
-	// allocation-free in steady state.
-	keys []drainKey
-	msgs []crossMsg
+	// allocation-free in steady state. sorter is a persistent field so taking
+	// its address for sort.Sort never escapes a fresh header to the heap —
+	// boxing one per destination per window was the dominant allocation of
+	// parallel runs (BENCH_pr4: 1045 allocs at workers=1 vs ~4850 at
+	// workers>=2).
+	keys   []drainKey
+	msgs   []crossMsg
+	sorter drainSort
 
-	// Persistent worker pool, started lazily on the first Run.
+	// weights biases the LP->worker assignment (SetLPWeights); nil means
+	// uniform.
+	weights []float64
+
+	// Persistent worker pool, started lazily on the first Run. plan[w] lists
+	// the LPs worker w executes each window, fixed at pool start by weighted
+	// longest-processing-time assignment.
 	started bool
 	startCh []chan Time
 	doneCh  chan struct{}
+	plan    [][]int
 
 	// barrier, when set, runs on the coordinator at every window barrier
 	// (all workers parked). The observability layer hooks it to drain
@@ -168,6 +184,59 @@ func (p *Parallel) Lookahead() Time { return p.lookahead }
 // Workers returns the configured worker count.
 func (p *Parallel) Workers() int { return p.workers }
 
+// SetLPWeights biases the static LP->worker assignment by expected load
+// (e.g. devices or ports per LP): workers receive LPs by weighted
+// longest-processing-time scheduling instead of round-robin striding. Call
+// before the first Run; w[i] is LP i's relative weight. The assignment
+// affects wall-clock balance only — never simulated results, which are fixed
+// by the partition and seed alone.
+func (p *Parallel) SetLPWeights(w []float64) {
+	if p.started {
+		panic("sim: SetLPWeights after workers started")
+	}
+	if len(w) != len(p.lps) {
+		panic(fmt.Sprintf("sim: SetLPWeights got %d weights for %d LPs", len(w), len(p.lps)))
+	}
+	p.weights = append([]float64(nil), w...)
+}
+
+// buildPlan assigns LPs to w workers. With weights set, LPs are sorted by
+// (weight desc, LP asc) and greedily placed on the least-loaded worker
+// (lowest index on ties) — deterministic LPT. Without weights it keeps the
+// classic stride lp % w.
+func (p *Parallel) buildPlan(w int) [][]int {
+	plan := make([][]int, w)
+	if p.weights == nil {
+		for lp := range p.lps {
+			plan[lp%w] = append(plan[lp%w], lp)
+		}
+		return plan
+	}
+	order := make([]int, len(p.lps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := p.weights[order[a]], p.weights[order[b]]
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	load := make([]float64, w)
+	for _, lp := range order {
+		best := 0
+		for i := 1; i < w; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		plan[best] = append(plan[best], lp)
+		load[best] += p.weights[lp]
+	}
+	return plan
+}
+
 // SetBarrier installs a hook that the coordinator invokes at every window
 // barrier, after cross-LP outboxes have been drained and while all workers
 // are parked — the hook may therefore read (and reset) state written by any
@@ -217,11 +286,11 @@ func (p *Parallel) drain() {
 		if len(p.keys) == 0 {
 			continue
 		}
-		sort.Sort(&drainSort{keys: p.keys, msgs: p.msgs})
+		p.sorter.keys, p.sorter.msgs = p.keys, p.msgs
+		sort.Sort(&p.sorter)
+		dst.injectSlab(p.msgs)
 		for i := range p.msgs {
-			m := &p.msgs[i]
-			dst.ScheduleHandler(m.at, m.h, m.arg)
-			*m = crossMsg{}
+			p.msgs[i] = crossMsg{} // scratch: drop refs for the GC
 		}
 	}
 }
@@ -268,9 +337,10 @@ func (p *Parallel) windowEnd(m, limit Time) Time {
 	return end
 }
 
-// startWorkers spins up the persistent worker pool: worker w executes LPs
-// w, w+W, w+2W, ... each window. The static assignment is irrelevant to
-// results (LPs share nothing within a window) — it only spreads load.
+// startWorkers spins up the persistent worker pool: each worker executes a
+// fixed list of LPs every window, built by buildPlan. The static assignment
+// is irrelevant to results (LPs share nothing within a window) — it only
+// spreads load.
 func (p *Parallel) startWorkers() {
 	if p.started {
 		return
@@ -284,13 +354,15 @@ func (p *Parallel) startWorkers() {
 		w = 1
 	}
 	p.workers = w
+	p.plan = p.buildPlan(w)
 	p.startCh = make([]chan Time, w)
 	p.doneCh = make(chan struct{}, w)
 	for i := 0; i < w; i++ {
 		p.startCh[i] = make(chan Time, 1)
 		go func(worker int) {
+			mine := p.plan[worker]
 			for end := range p.startCh[worker] {
-				for lp := worker; lp < len(p.lps); lp += w {
+				for _, lp := range mine {
 					p.lps[lp].runWindow(end)
 				}
 				p.doneCh <- struct{}{}

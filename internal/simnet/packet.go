@@ -148,6 +148,14 @@ type Packet struct {
 	txEpoch   uint64
 	peerEpoch uint64
 
+	// enqAt is when the packet entered its current egress queue. Burst train
+	// formation (Port.trySend) reads it to decide whether a queued frame
+	// predates the formation instant: frames enqueued at the very nanosecond
+	// a train forms are deferred to the next train, so the wire schedule is
+	// independent of how an execution mode orders same-instant events.
+	// Internal to Port.
+	enqAt sim.Time
+
 	// impairDrop, when nonzero, is the obs.Reason a gray-failure impairment
 	// assigned this frame at dequeue: no delivery is scheduled and the frame
 	// is recorded and released when serialization completes. Internal to

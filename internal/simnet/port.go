@@ -78,11 +78,34 @@ type Port struct {
 
 	Stats PortStats
 
+	// MaxTrain caps how many back-to-back frames one transmission train may
+	// commit (0 means DefaultMaxTrain). Larger trains amortize more scheduler
+	// work per frame but coarsen PFC pause/drain reaction to the train
+	// boundary; see DESIGN.md §13.
+	MaxTrain int
+
 	eng    *sim.Engine
 	queues [2]pktRing // [0] control/feedback (strict priority), [1] data
 	qBytes int
-	busy   bool
+	busy   bool // per-frame (impaired) path only; burst path uses busyUntil
 	paused bool
+
+	// Burst transmission state. busyUntil is when the committed train
+	// finishes serializing: the link is busy while now < busyUntil, with no
+	// standing txDone event — if the train drained the queue, nothing is
+	// scheduled at all, and an enqueue arriving mid-serialization arms txT
+	// for the train boundary on demand (txArmedAt remembers the deadline it
+	// is armed for, so repeated enqueues on a busy port stay O(1)). flight
+	// holds locally delivered frames from commit until arrival, drained
+	// FIFO by the re-armable rxT chain — one heap entry per busy link
+	// instead of one per in-flight frame. Both timers are created lazily on
+	// first use so they bind the port's final (possibly partitioned)
+	// engine, after Rebind.
+	busyUntil sim.Time
+	txArmedAt sim.Time
+	txT       *sim.Timer
+	rxT       *sim.Timer
+	flight    flightRing
 
 	// Fail-stop state: a down port neither transmits nor accepts frames.
 	// epoch increments on every transition so frames already in flight when
@@ -125,8 +148,16 @@ func (pt *Port) rec(k obs.Kind, r obs.Reason, p *Packet, a, size int64) {
 	pt.tr.Record(pt.eng.Now(), k, r, pt.ID, uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.SrcQP, p.DstQP, p.PSN, p.MsgID, a, size)
 }
 
-// txDoneHandler fires when a frame finishes serializing: the link is free for
-// the next frame and the frame's ingress-buffer reservation is returned.
+// DefaultMaxTrain bounds one transmission train to 32 frames: long enough to
+// amortize the per-train timer over a deep queue, short enough that pause and
+// drain reactions (which wait for the train boundary) stay within a few
+// microseconds of wire time at 100Gbps.
+const DefaultMaxTrain = 32
+
+// txDoneHandler fires when a frame finishes serializing on the per-frame
+// (impaired) path: the link is free for the next frame and the frame's
+// ingress-buffer reservation is returned. The healthy burst path releases
+// accounting at commit time and uses the txT timer instead.
 type txDoneHandler struct{ pt *Port }
 
 func (h *txDoneHandler) OnEvent(_ *sim.Engine, arg any) {
@@ -247,6 +278,59 @@ func (r *pktRing) popFront() *Packet {
 	r.n--
 	return p
 }
+
+// peekFront returns the head packet without dequeuing it. The caller must
+// have checked len() > 0.
+func (r *pktRing) peekFront() *Packet { return r.buf[r.head] }
+
+// flightEntry is one committed frame riding the wire toward the peer: the
+// packet plus its arrival time (serialization end + propagation).
+type flightEntry struct {
+	p  *Packet
+	at sim.Time
+}
+
+// flightRing is the FIFO of committed-but-undelivered frames on a local
+// link. Arrival times are nondecreasing (frames of one link serialize
+// back-to-back and share the propagation delay), so one re-armable timer
+// walking the ring replaces a heap entry per in-flight frame.
+type flightRing struct {
+	buf  []flightEntry
+	head int
+	n    int
+}
+
+func (r *flightRing) len() int { return r.n }
+
+func (r *flightRing) grow() {
+	c := len(r.buf) * 2 // capacity stays a power of two for the index masks
+	if c == 0 {
+		c = 8
+	}
+	nb := make([]flightEntry, c)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *flightRing) pushBack(e flightEntry) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = e
+	r.n++
+}
+
+func (r *flightRing) popFront() flightEntry {
+	e := r.buf[r.head]
+	r.buf[r.head].p = nil // drop the packet reference; pool reuse needs no zeroed at
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return e
+}
+
+func (r *flightRing) peekFront() *flightEntry { return &r.buf[r.head] }
 
 func classOf(p *Packet) int {
 	switch p.Type {
@@ -370,6 +454,7 @@ func (pt *Port) SendUrgent(p *Packet) {
 		p.Release()
 		return
 	}
+	p.enqAt = pt.eng.Now()
 	pt.queues[qCtrl].pushFront(p)
 	pt.qBytes += p.Size()
 	pt.QHist.Observe(int64(pt.qBytes))
@@ -400,8 +485,8 @@ func (pt *Port) enqueue(p *Packet, urgent bool) {
 		p.Release()
 		return
 	}
-	if pt.ECN.Enabled && p.Type == Data && pt.markProbability() > 0 {
-		if pt.eng.Rand().Float64() < pt.markProbability() {
+	if mp := pt.markProbability(); pt.ECN.Enabled && p.Type == Data && mp > 0 {
+		if pt.eng.Rand().Float64() < mp {
 			p.ECN = true
 			pt.Stats.ECNMarks++
 			if pt.tr.On() {
@@ -413,6 +498,7 @@ func (pt *Port) enqueue(p *Packet, urgent bool) {
 		p.acct.add(size)
 	}
 	cls := classOf(p)
+	p.enqAt = pt.eng.Now()
 	pt.queues[cls].pushBack(p)
 	pt.qBytes += size
 	pt.QHist.Observe(int64(pt.qBytes))
@@ -437,6 +523,24 @@ func (pt *Port) markProbability() float64 {
 	}
 }
 
+// trySend commits a train of back-to-back frames to the wire in one pass
+// (the burst hot path, DESIGN.md §13). Every committed frame dequeues,
+// records, and schedules its delivery immediately. If frames remain queued
+// at the train boundary, one txT firing at serialization end forms the next
+// train; if the train drained the queue, nothing is scheduled at all — the
+// busyUntil deadline alone marks the link busy, and an enqueue arriving
+// mid-serialization arms txT on demand. The train credits the engine with
+// the per-frame events it elided so event accounting stays comparable
+// across scheduler generations.
+//
+// Train formation must be independent of how an execution mode orders
+// same-instant events: a frame enqueued at the very nanosecond the train
+// forms may land before or after this call depending on tie order alone, so
+// only frames whose enqAt predates the formation instant extend a train.
+// The priority head is taken regardless when nothing older is queued — then
+// the formation was triggered by that frame's own enqueue, which is not a
+// tie. Excluded frames go on the next train at the same wire time either
+// way.
 func (pt *Port) trySend() {
 	if pt.busy || pt.paused || pt.down || pt.qBytes == 0 {
 		return
@@ -444,13 +548,126 @@ func (pt *Port) trySend() {
 	if pt.Peer == nil {
 		panic(fmt.Sprintf("simnet: %s port %d transmitting on unconnected link", pt.Dev.DeviceName(), pt.ID))
 	}
-	// Strict priority: drain control/feedback before bulk data.
+	now := pt.eng.Now()
+	if now < pt.busyUntil {
+		// Mid-serialization enqueue (or a port impaired mid-train): make
+		// sure the next formation is scheduled at the train boundary.
+		pt.armTx(now)
+		return
+	}
+	if pt.imp != nil {
+		pt.trySendImpaired()
+		return
+	}
+	peer := pt.Peer
+	cross := peer.eng != pt.eng
+	end := now
+	limit := pt.MaxTrain
+	if limit <= 0 {
+		limit = DefaultMaxTrain
+	}
+	n := 0
+	for n < limit && !pt.paused && !pt.down && pt.qBytes > 0 {
+		// Strict priority among frames that predate the formation instant:
+		// control/feedback before bulk data.
+		cls := -1
+		var p *Packet
+		if pt.queues[qCtrl].len() > 0 {
+			if q := pt.queues[qCtrl].peekFront(); q.enqAt < now {
+				cls, p = qCtrl, q
+			}
+		}
+		if cls < 0 && pt.queues[qData].len() > 0 {
+			if q := pt.queues[qData].peekFront(); q.enqAt < now {
+				cls, p = qData, q
+			}
+		}
+		if cls < 0 {
+			if n > 0 {
+				break
+			}
+			cls = qCtrl
+			if pt.queues[qCtrl].len() == 0 {
+				cls = qData
+			}
+			p = pt.queues[cls].peekFront()
+		}
+		pt.queues[cls].popFront()
+		size := p.Size()
+		pt.qBytes -= size
+		if pt.tr.On() {
+			pt.rec(obs.KDequeue, obs.RNone, p, int64(pt.qBytes), int64(size))
+		}
+		pt.Stats.TxPackets++
+		pt.Stats.TxBytes += uint64(size)
+		end += pt.TxTime(size)
+		if p.acct != nil {
+			p.acct.release(size)
+			p.acct = nil
+		}
+		if cross {
+			// Cross-LP link: delivery — and packet ownership — hands off to
+			// the receiving LP through the window-barrier mailbox. The
+			// propagation delay of every cross-LP link is at least the
+			// partition's lookahead, so the arrival always lands at or
+			// beyond the current window's end. The peer's fail-stop epoch
+			// belongs to the peer's LP and cannot be read here; runtime
+			// fault injection is sequential-only (DESIGN.md §9).
+			p.txEpoch, p.peerEpoch = pt.epoch, 0
+			pt.eng.ScheduleRemote(peer.eng, end+pt.PropDelay, &peer.rxH, p)
+		} else {
+			p.txEpoch, p.peerEpoch = pt.epoch, peer.epoch
+			pt.commitFlight(p, end+pt.PropDelay)
+		}
+		n++
+		if pt.OnDrain != nil && pt.qBytes <= pt.LowWater {
+			pt.OnDrain()
+		}
+	}
+	pt.busyUntil = end
+	if pt.qBytes > 0 {
+		// Frames remain (deferred same-instant arrivals or the MaxTrain
+		// cap): the txT firing at the boundary is this train's one txDone.
+		pt.armTx(now)
+		pt.eng.Credit(uint64(n - 1))
+	} else {
+		// The train drained the queue: no txDone event at all. Credit the
+		// whole train's worth so the ledger still reads one txDone plus one
+		// arrival per frame.
+		pt.eng.Credit(uint64(n))
+	}
+}
+
+// armTx schedules the next train formation at the busyUntil boundary.
+// txArmedAt makes re-arming idempotent, so every enqueue on a busy port
+// costs a comparison, not a heap re-key.
+func (pt *Port) armTx(now sim.Time) {
+	if pt.txArmedAt == pt.busyUntil {
+		return
+	}
+	if pt.txT == nil {
+		pt.txT = pt.eng.NewTimer(pt.onTxDone)
+	}
+	pt.txT.Reset(pt.busyUntil - now)
+	pt.txArmedAt = pt.busyUntil
+}
+
+// onTxDone fires at a train boundary that had more frames queued (or saw an
+// enqueue mid-serialization): form the next train. Ingress accounting and
+// drain callbacks already ran at commit time.
+func (pt *Port) onTxDone() {
+	pt.txArmedAt = 0
+	pt.trySend()
+}
+
+// trySendImpaired is the per-frame transmit path for an impaired egress:
+// gray-failure fates draw from the port RNG in a fixed per-frame order, and
+// jittered arrivals are not FIFO, so impaired ports keep the
+// one-event-per-frame schedule (txDoneH/deliverH) instead of trains.
+func (pt *Port) trySendImpaired() {
 	cls := qCtrl
 	if pt.queues[qCtrl].len() == 0 {
 		cls = qData
-	}
-	if pt.queues[cls].len() == 0 {
-		return
 	}
 	p := pt.queues[cls].popFront()
 	size := p.Size()
@@ -462,26 +679,44 @@ func (pt *Port) trySend() {
 	tx := pt.TxTime(size)
 	pt.Stats.TxPackets++
 	pt.Stats.TxBytes += uint64(size)
-	if pt.imp != nil {
-		pt.impairSend(p, tx)
+	pt.impairSend(p, tx)
+}
+
+// commitFlight schedules a committed frame's local arrival through the
+// flight ring, arming the rxT chain when the ring was idle.
+func (pt *Port) commitFlight(p *Packet, at sim.Time) {
+	first := pt.flight.len() == 0
+	pt.flight.pushBack(flightEntry{p: p, at: at})
+	if first {
+		if pt.rxT == nil {
+			pt.rxT = pt.eng.NewTimer(pt.onArrive)
+		}
+		pt.rxT.Reset(at - pt.eng.Now())
+	}
+}
+
+// onArrive delivers the flight ring's head frame to the peer device,
+// re-arming for the next arrival first so the receive path — which may
+// forward and commit further frames — sees a consistent chain.
+func (pt *Port) onArrive() {
+	fe := pt.flight.popFront()
+	if pt.flight.len() > 0 {
+		// The timer fired exactly at fe.at, so it is "now" without an
+		// engine clock read.
+		pt.rxT.Reset(pt.flight.peekFront().at - fe.at)
+	}
+	p := fe.p
+	peer := pt.Peer
+	if pt.epoch != p.txEpoch || peer.epoch != p.peerEpoch {
+		pt.Stats.FaultDrops++
+		pt.fab.Inc(obs.FFaultDrops)
+		if pt.tr.On() {
+			pt.rec(obs.KDrop, obs.RFault, p, 0, int64(p.Size()))
+		}
+		p.Release()
 		return
 	}
-	if peer := pt.Peer; peer.eng != pt.eng {
-		// Cross-LP link: serialization completes on this LP, but delivery —
-		// and packet ownership — hands off to the receiving LP through the
-		// window-barrier mailbox. The propagation delay of every cross-LP
-		// link is at least the partition's lookahead, so the arrival always
-		// lands at or beyond the current window's end. The peer's fail-stop
-		// epoch belongs to the peer's LP and cannot be read here; runtime
-		// fault injection is sequential-only (DESIGN.md §9).
-		p.txEpoch, p.peerEpoch = pt.epoch, 0
-		pt.eng.AfterHandler(tx, &pt.txDoneH, p)
-		pt.eng.ScheduleRemote(peer.eng, pt.eng.Now()+tx+pt.PropDelay, &peer.rxH, p)
-		return
-	}
-	p.txEpoch, p.peerEpoch = pt.epoch, pt.Peer.epoch
-	pt.eng.AfterHandler(tx, &pt.txDoneH, p)
-	pt.eng.AfterHandler(tx+pt.PropDelay, &pt.deliverH, p)
+	peer.Dev.Receive(p, peer)
 }
 
 // setPaused flips PFC pause state on this egress.

@@ -67,8 +67,11 @@ type Switch struct {
 	PFC  PFCConfig
 
 	// FIB maps a destination address to the set of equal-cost egress ports;
-	// flows are hashed onto one of them.
-	FIB map[Addr][]int
+	// flows are hashed onto one of them. fibDst/fibPorts are Forward's
+	// one-entry lookup cache (fibPorts nil = invalid).
+	FIB      map[Addr][]int
+	fibDst   Addr
+	fibPorts []int
 
 	// Hook, when set, sees every packet before unicast forwarding.
 	Hook SwitchHook
@@ -259,8 +262,18 @@ func (sw *Switch) Receive(p *Packet, in *Port) {
 // Forward routes p by its destination address using the FIB. Packets with
 // no route are counted and dropped, as a real switch would.
 func (sw *Switch) Forward(p *Packet, in *Port) {
-	ports, ok := sw.FIB[p.Dst]
-	if !ok || len(ports) == 0 {
+	// One-entry FIB cache: unicast traffic through a switch is heavily
+	// repetitive (one flow's worth of ACKs, one fallback destination), so
+	// the common case is a compare instead of a map access. AddRoute and
+	// ResetFIB invalidate it.
+	ports := sw.fibPorts
+	if p.Dst != sw.fibDst || ports == nil {
+		ports = sw.FIB[p.Dst]
+		if ports != nil {
+			sw.fibDst, sw.fibPorts = p.Dst, ports
+		}
+	}
+	if len(ports) == 0 {
 		sw.NoRouteDrops++
 		sw.fab.Inc(obs.FNoRouteDrops)
 		if sw.tr.On() {
@@ -331,6 +344,22 @@ func isLossyControl(t PacketType) bool {
 // AddRoute appends an equal-cost egress port for dst.
 func (sw *Switch) AddRoute(dst Addr, port int) {
 	sw.FIB[dst] = append(sw.FIB[dst], port)
+	sw.fibDst, sw.fibPorts = 0, nil
+}
+
+// SetRoutes installs the full equal-cost port set for dst in one map write.
+// The switch takes ownership of ports without copying; callers that share one
+// slice across destinations must pass it with len == cap so a later AddRoute
+// append reallocates instead of mutating the shared backing array.
+func (sw *Switch) SetRoutes(dst Addr, ports []int) {
+	sw.FIB[dst] = ports
+	sw.fibDst, sw.fibPorts = 0, nil
+}
+
+// ResetFIB discards every route (and the lookup cache) ahead of a rebuild.
+func (sw *Switch) ResetFIB() {
+	sw.FIB = make(map[Addr][]int)
+	sw.fibDst, sw.fibPorts = 0, nil
 }
 
 // flowHash spreads flows across ECMP members (FNV-1a over the 5-tuple-ish

@@ -29,6 +29,14 @@ type Network struct {
 	// with, so transports can size windows from the BDP.
 	LinkRate  float64
 	PropDelay sim.Time
+
+	// Domains optionally groups switches into coarser partition units for
+	// PartitionPods: every switch in a domain — and every host hanging off
+	// one — shares a logical process, so only inter-domain trunks cross LPs.
+	// FatTree populates one domain per pod (its edges and aggregations) plus
+	// one per core group; nil for topologies without a natural grouping, in
+	// which case PartitionPods falls back to the per-switch Partition.
+	Domains [][]*simnet.Switch
 }
 
 // HostIP returns the address of host i. Host addresses are assigned
@@ -85,6 +93,16 @@ func FatTree(eng *sim.Engine, k int) *Network {
 
 // FatTreeWith is FatTree with explicit link parameters.
 func FatTreeWith(eng *sim.Engine, k int, rate float64, prop sim.Time) *Network {
+	return FatTreeWithTrunk(eng, k, rate, prop, prop)
+}
+
+// FatTreeWithTrunk is FatTreeWith with a separate propagation delay for the
+// aggregation↔core trunks. Core trunks are physically longer than in-pod
+// cabling in a real datacenter, and under PartitionPods they are the only
+// cross-LP links — so coreProp sets the conservative lookahead directly,
+// letting scale experiments trade modeled trunk length against
+// synchronization frequency.
+func FatTreeWithTrunk(eng *sim.Engine, k int, rate float64, prop, coreProp sim.Time) *Network {
 	if k < 2 || k%2 != 0 {
 		panic("topo: fat-tree arity must be even and >= 2")
 	}
@@ -114,9 +132,9 @@ func FatTreeWith(eng *sim.Engine, k int, rate float64, prop sim.Time) *Network {
 		cores = append(cores, newSwitch(fmt.Sprintf("core-%d", c)))
 	}
 
-	connect := func(a, b *simnet.Switch) {
-		pa := a.AddPort(rate, prop)
-		pb := b.AddPort(rate, prop)
+	connect := func(a, b *simnet.Switch, d sim.Time) {
+		pa := a.AddPort(rate, d)
+		pb := b.AddPort(rate, d)
 		simnet.Connect(pa, pb)
 	}
 
@@ -137,7 +155,7 @@ func FatTreeWith(eng *sim.Engine, k int, rate float64, prop sim.Time) *Network {
 	for p := 0; p < k; p++ {
 		for i := 0; i < half; i++ {
 			for j := 0; j < half; j++ {
-				connect(edges[p][i], aggs[p][j])
+				connect(edges[p][i], aggs[p][j], prop)
 			}
 		}
 	}
@@ -146,9 +164,24 @@ func FatTreeWith(eng *sim.Engine, k int, rate float64, prop sim.Time) *Network {
 	for p := 0; p < k; p++ {
 		for j := 0; j < half; j++ {
 			for c := 0; c < half; c++ {
-				connect(aggs[p][j], cores[j*half+c])
+				connect(aggs[p][j], cores[j*half+c], coreProp)
 			}
 		}
+	}
+
+	// Partition domains: one per pod, one per core group. Core group j is
+	// cores j*half..j*half+half-1, which attach to agg j of every pod — so
+	// the only inter-domain links are the aggregation↔core trunks.
+	for p := 0; p < k; p++ {
+		d := make([]*simnet.Switch, 0, k)
+		d = append(d, edges[p]...)
+		d = append(d, aggs[p]...)
+		n.Domains = append(n.Domains, d)
+	}
+	for j := 0; j < half; j++ {
+		d := make([]*simnet.Switch, half)
+		copy(d, cores[j*half:(j+1)*half])
+		n.Domains = append(n.Domains, d)
 	}
 
 	buildRoutes(n)
@@ -241,6 +274,68 @@ func (n *Network) Partition(par *sim.Parallel) sim.Time {
 	return la
 }
 
+// PartitionPods splits the network into one logical process per partition
+// domain (Network.Domains): every switch of a domain, and every host behind
+// one, lands on the same LP. On a fat-tree that means k pod LPs plus k/2
+// core-group LPs, with only the aggregation↔core trunks crossing LPs — far
+// fewer cross-LP messages and a lookahead set by the (typically longer)
+// trunk propagation delay instead of the shortest link anywhere.
+//
+// Like Partition, the assignment is a pure function of the topology: LP i is
+// domain i in build order, regardless of par's worker count, so results stay
+// byte-identical across worker counts. Domain weights (ports plus attached
+// hosts) are handed to par.SetLPWeights so the LP→worker plan balances the
+// heavyweight pod LPs against the lighter core groups. Falls back to the
+// per-switch Partition when the topology declares no domains.
+func (n *Network) PartitionPods(par *sim.Parallel) sim.Time {
+	if len(n.Domains) == 0 {
+		return n.Partition(par)
+	}
+	if par.NumLPs() != 0 {
+		panic("topo: PartitionPods requires a fresh Parallel")
+	}
+	lps := make([]*sim.Engine, len(n.Domains))
+	dom := make(map[*simnet.Switch]int, len(n.Switches))
+	for d, sws := range n.Domains {
+		lps[d] = par.AddLP()
+		for _, sw := range sws {
+			if _, dup := dom[sw]; dup {
+				panic("topo: switch appears in two partition domains")
+			}
+			dom[sw] = d
+			sw.Rebind(lps[d])
+		}
+	}
+	if len(dom) != len(n.Switches) {
+		panic("topo: Domains must cover every switch")
+	}
+	weights := make([]float64, len(n.Domains))
+	for _, sw := range n.Switches {
+		weights[dom[sw]] += float64(len(sw.Ports))
+	}
+	for _, h := range n.Hosts {
+		d := dom[n.LeafOf(h)]
+		h.Rebind(lps[d])
+		weights[d]++ // the host's NIC/stack load rides on its leaf's LP
+	}
+	var la sim.Time
+	for _, sw := range n.Switches {
+		for _, pt := range sw.Ports {
+			psw, ok := pt.Peer.Dev.(*simnet.Switch)
+			if !ok || dom[psw] == dom[sw] {
+				continue
+			}
+			if la == 0 || pt.PropDelay < la {
+				la = pt.PropDelay
+			}
+		}
+	}
+	par.SetLPWeights(weights)
+	par.Finalize(la)
+	n.Eng = nil
+	return la
+}
+
 // linkUp reports whether pt is a usable edge: both ends of the link (and
 // the devices behind them) alive. During the initial topology build nothing
 // is down and every edge qualifies.
@@ -255,71 +350,109 @@ func linkUp(pt *simnet.Port) bool {
 }
 
 // buildRoutes computes shortest-path ECMP FIB entries for every host
-// destination via BFS from each host across the switch graph.
+// destination via BFS across the switch graph. Both the distance field and
+// the resulting (switch, port) route set depend only on the host's leaf
+// (and whether its access link is up), so hosts sharing a leaf compute them
+// once and install the shared per-switch port sets with one map write per
+// switch — on a fat-tree that divides the route-build cost by the
+// hosts-per-leaf count and makes the replay allocation-free, which is what
+// keeps the 1024-host topology's setup cheap. Only the leaf's direct route
+// to the host itself differs per host.
 func buildRoutes(n *Network) {
 	// Map each switch to an index for the BFS arrays.
 	idx := make(map[*simnet.Switch]int, len(n.Switches))
 	for i, sw := range n.Switches {
 		idx[sw] = i
 	}
+	type distKey struct {
+		leaf *simnet.Switch
+		up   bool
+	}
+	type swRoutes struct {
+		sw    int   // switch index
+		ports []int // ECMP egress ports toward the leaf, FIB order, len == cap
+	}
+	type leafRoutes struct {
+		reachable bool // the leaf itself is up and routable
+		routes    []swRoutes
+	}
+	cache := make(map[distKey]*leafRoutes)
 	for _, h := range n.Hosts {
 		leaf, ok := h.NIC.Peer.Dev.(*simnet.Switch)
 		if !ok {
 			continue
 		}
-		dist := make([]int, len(n.Switches))
-		for i := range dist {
-			dist[i] = -1
-		}
-		if !leaf.Crashed() && linkUp(h.NIC) {
-			dist[idx[leaf]] = 0
-		}
-		queue := []*simnet.Switch{leaf}
-		for len(queue) > 0 {
-			sw := queue[0]
-			queue = queue[1:]
-			d := dist[idx[sw]]
-			if d == -1 {
-				continue
+		key := distKey{leaf, !leaf.Crashed() && linkUp(h.NIC)}
+		lr, cached := cache[key]
+		if !cached {
+			dist := make([]int, len(n.Switches))
+			for i := range dist {
+				dist[i] = -1
 			}
-			for _, pt := range sw.Ports {
-				peer, ok := pt.Peer.Dev.(*simnet.Switch)
-				if !ok || !linkUp(pt) {
+			if key.up {
+				dist[idx[leaf]] = 0
+			}
+			queue := []*simnet.Switch{leaf}
+			for len(queue) > 0 {
+				sw := queue[0]
+				queue = queue[1:]
+				d := dist[idx[sw]]
+				if d == -1 {
 					continue
-				}
-				if dist[idx[peer]] == -1 {
-					dist[idx[peer]] = d + 1
-					queue = append(queue, peer)
-				}
-			}
-		}
-		// Every switch routes toward h via ports whose switch peer is one
-		// hop closer; the leaf routes directly to the host port.
-		for _, sw := range n.Switches {
-			if sw == leaf {
-				if dist[idx[leaf]] != 0 {
-					continue // host unreachable: its access link is dead
 				}
 				for _, pt := range sw.Ports {
-					if pt.Peer.Dev == simnet.Device(h) {
-						sw.AddRoute(h.IP, pt.ID)
+					peer, ok := pt.Peer.Dev.(*simnet.Switch)
+					if !ok || !linkUp(pt) {
+						continue
+					}
+					if dist[idx[peer]] == -1 {
+						dist[idx[peer]] = d + 1
+						queue = append(queue, peer)
 					}
 				}
-				continue
 			}
-			d := dist[idx[sw]]
-			if d == -1 {
-				continue
-			}
-			for _, pt := range sw.Ports {
-				peer, ok := pt.Peer.Dev.(*simnet.Switch)
-				if !ok || !linkUp(pt) {
+			// Every non-leaf switch routes toward the leaf via ports whose
+			// switch peer is one hop closer. The per-switch port set is
+			// frozen with len == cap so every host behind this leaf can
+			// share it (see Switch.SetRoutes).
+			lr = &leafRoutes{reachable: dist[idx[leaf]] == 0}
+			for i, sw := range n.Switches {
+				if sw == leaf {
 					continue
 				}
-				if dist[idx[peer]] == d-1 {
-					sw.AddRoute(h.IP, pt.ID)
+				d := dist[i]
+				if d == -1 {
+					continue
+				}
+				var ports []int
+				for _, pt := range sw.Ports {
+					peer, ok := pt.Peer.Dev.(*simnet.Switch)
+					if !ok || !linkUp(pt) {
+						continue
+					}
+					if dist[idx[peer]] == d-1 {
+						ports = append(ports, pt.ID)
+					}
+				}
+				if len(ports) > 0 {
+					ports = ports[:len(ports):len(ports)]
+					lr.routes = append(lr.routes, swRoutes{sw: i, ports: ports})
 				}
 			}
+			cache[key] = lr
+		}
+		if !lr.reachable {
+			continue // host unreachable: its access link or leaf is dead
+		}
+		// The leaf routes directly to the host port; everything else replays
+		// the memoized route set for this leaf.
+		for _, pt := range leaf.Ports {
+			if pt.Peer.Dev == simnet.Device(h) {
+				leaf.AddRoute(h.IP, pt.ID)
+			}
+		}
+		for _, rt := range lr.routes {
+			n.Switches[rt.sw].SetRoutes(h.IP, rt.ports)
 		}
 	}
 }
@@ -332,7 +465,7 @@ func buildRoutes(n *Network) {
 // unreachable members before sending.
 func (n *Network) RebuildRoutes() {
 	for _, sw := range n.Switches {
-		sw.FIB = make(map[simnet.Addr][]int)
+		sw.ResetFIB()
 	}
 	buildRoutes(n)
 }
