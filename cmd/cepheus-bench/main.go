@@ -185,8 +185,19 @@ func auditVerdict(c *cepheus.Cluster, label string) {
 	}
 }
 
-// runBcast drives one broadcast, records its result for -json, and converts a
-// stalled run into a clean CLI failure instead of a panic.
+// bcastReps is how many timed repetitions runBcast takes per record, keeping
+// the best events/s. Simulated results are deterministic — every repetition
+// completes in the same JCT (event counts can differ by a handful of
+// post-completion drain events, as the drive loop stops at a slightly
+// different point each rep) — so repeating only filters host scheduler
+// noise out of the wall-clock metric. Sweeps that compare rows against each
+// other (workerSweep's speedup column) raise it; one-shot experiments keep
+// the default.
+var bcastReps = 1
+
+// runBcast drives one broadcast (bcastReps timed repetitions, best kept),
+// records its result for -json, and converts a stalled run into a clean CLI
+// failure instead of a panic.
 func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label string) float64 {
 	if *traceOut != "" {
 		c.EnableTrace(*traceCap)
@@ -194,29 +205,39 @@ func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label st
 	if *auditOn {
 		c.EnableAudit()
 	}
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
-	ev0 := c.EventsRun()
-	t0 := time.Now()
-	jct, err := c.RunBcastErr(b, root, size)
-	wall := time.Since(t0)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s/%s: %v\n", curExp, label, err)
-		os.Exit(1)
+	var rec benchRecord
+	for rep := 0; rep < bcastReps; rep++ {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		ev0 := c.EventsRun()
+		t0 := time.Now()
+		jct, err := c.RunBcastErr(b, root, size)
+		wall := time.Since(t0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s/%s: %v\n", curExp, label, err)
+			os.Exit(1)
+		}
+		runtime.ReadMemStats(&m1)
+		ev := c.EventsRun() - ev0
+		eps := 0.0
+		if s := wall.Seconds(); s > 0 {
+			eps = float64(ev) / s
+		}
+		if rep == 0 || eps > rec.EventsPerSec {
+			rec = benchRecord{
+				Experiment: curExp, Case: label, JCTNs: int64(jct),
+				EventsRun: ev, EventsPerSec: eps, Allocs: m1.Mallocs - m0.Mallocs,
+			}
+		}
 	}
-	runtime.ReadMemStats(&m1)
-	ev := c.EventsRun() - ev0
-	eps := 0.0
-	if s := wall.Seconds(); s > 0 {
-		eps = float64(ev) / s
-	}
-	lat, qd := c.DeliveryLatency(), c.QueueDepth()
-	records = append(records, benchRecord{
-		Experiment: curExp, Case: label, JCTNs: int64(jct),
-		EventsRun: ev, EventsPerSec: eps, Allocs: m1.Mallocs - m0.Mallocs,
-		P50LatencyNs: lat.P50, P99LatencyNs: lat.P99, P999LatencyNs: lat.P999,
-		MaxQueueBytes: qd.Max,
-	})
+	// Per-message latency (first packet emitted to last packet accepted at
+	// each receiver), not per-packet transit: packet transit is a constant
+	// on an uncongested paced fabric and collapses every percentile to the
+	// same value.
+	lat, qd := c.MessageLatency(), c.QueueDepth()
+	rec.P50LatencyNs, rec.P99LatencyNs, rec.P999LatencyNs = lat.P50, lat.P99, lat.P999
+	rec.MaxQueueBytes = qd.Max
+	records = append(records, rec)
 	if *traceOut != "" {
 		if err := c.WriteTraceFile(*traceOut, true); err != nil {
 			fmt.Fprintf(os.Stderr, "%s/%s: trace export: %v\n", curExp, label, err)
@@ -224,7 +245,7 @@ func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label st
 		}
 	}
 	auditVerdict(c, label)
-	return float64(jct)
+	return float64(rec.JCTNs)
 }
 
 func testbedJCT(scheme cepheus.Scheme, size, cellCap int) float64 {
@@ -624,6 +645,11 @@ func workerSweep(name string, k, members int, workers []int) {
 	t := exp.NewTable(fmt.Sprintf("%s: pod-partitioned executor scaling (1MB bcast, %d members, k=%d fat-tree, %d hosts, DCQCN)",
 		name, members, k, k*k*k/4),
 		"workers", "lps", "jct", "events", "wall(ms)", "events/s(M)", "speedup")
+	// The speedup column compares wall-clock across rows, so each row takes
+	// the best of five timed repetitions — single-shot timings on a shared
+	// host swing enough to invert the ordering.
+	bcastReps = 5
+	defer func() { bcastReps = 1 }()
 	var base float64
 	for _, w := range workers {
 		core.ResetMcstIDs()
@@ -639,20 +665,30 @@ func workerSweep(name string, k, members int, workers []int) {
 		if err != nil {
 			panic(err)
 		}
+		// One untimed warmup broadcast grows every executor buffer (outboxes,
+		// merge scratch, slabs, event heaps) and ramps DCQCN to its working
+		// point, so the measured row reports steady-state behavior: the alloc
+		// column is worker-invariant delivery bookkeeping instead of plan-
+		// shape-dependent cold growth, and events/s excludes one-time setup.
+		if _, err := c.RunBcastErr(b, nodes[0], 1<<20); err != nil {
+			panic(err)
+		}
 		lps := 1
 		if c.Par != nil {
 			lps = c.Par.NumLPs()
 		}
-		t0 := time.Now()
 		jct := runBcast(c, b, nodes[0], 1<<20, fmt.Sprintf("workers=%d", w))
-		wall := time.Since(t0)
 		c.Close()
 		rec := records[len(records)-1]
 		if w == workers[0] {
 			base = rec.EventsPerSec
 		}
+		wallMs := 0.0
+		if rec.EventsPerSec > 0 {
+			wallMs = float64(rec.EventsRun) / rec.EventsPerSec * 1e3
+		}
 		t.Add(fmt.Sprint(w), fmt.Sprint(lps), sim.Time(jct).String(), fmt.Sprint(rec.EventsRun),
-			fmt.Sprintf("%.1f", float64(wall.Nanoseconds())/1e6),
+			fmt.Sprintf("%.1f", wallMs),
 			fmt.Sprintf("%.2f", rec.EventsPerSec/1e6),
 			fmt.Sprintf("%.2fx", rec.EventsPerSec/base))
 	}

@@ -99,9 +99,27 @@ type Recorder struct {
 	clost   uint64
 
 	scratch []Event
+	sorter  barrierSort // persistent sort adapter: Barrier stays allocation-free
 
 	observer func(*Event)
 }
+
+// barrierSort orders a barrier drain by (time, lp); sort.Stable preserves
+// each shard's causal ring order among same-time events. A pointer to a
+// persistent instance converts to sort.Interface without allocating, unlike
+// sort.SliceStable's per-call closure + reflect.Swapper — this runs on every
+// PDES window barrier while tracing, so it must not allocate.
+type barrierSort struct{ ev []Event }
+
+func (s *barrierSort) Len() int { return len(s.ev) }
+func (s *barrierSort) Less(i, j int) bool {
+	a, b := &s.ev[i], &s.ev[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.LP < b.LP
+}
+func (s *barrierSort) Swap(i, j int) { s.ev[i], s.ev[j] = s.ev[j], s.ev[i] }
 
 // NewRecorder creates a recorder for nLP logical processes with a central
 // ring of the given capacity. Each shard gets capacity/nLP slots (at least
@@ -189,13 +207,8 @@ func (r *Recorder) Barrier() {
 			s.n--
 		}
 	}
-	sort.SliceStable(r.scratch, func(i, j int) bool {
-		a, b := &r.scratch[i], &r.scratch[j]
-		if a.At != b.At {
-			return a.At < b.At
-		}
-		return a.LP < b.LP
-	})
+	r.sorter.ev = r.scratch
+	sort.Stable(&r.sorter)
 	if r.observer != nil {
 		for i := range r.scratch {
 			r.observer(&r.scratch[i])

@@ -64,6 +64,14 @@ type QP struct {
 	// a handful of arithmetic ops per accepted packet.
 	LatHist obs.Histogram
 
+	// MsgLatHist observes per-message delivery latency: the gap between the
+	// requester emitting the message's first data packet and this responder
+	// accepting the last one in order. Unlike LatHist's per-packet transit
+	// samples — which collapse to a single value on an uncongested paced
+	// fabric — message latency grows with serialization, pacing, and
+	// retransmission, so its percentiles spread across receivers and sizes.
+	MsgLatHist obs.Histogram
+
 	nic *RNIC
 	eng *sim.Engine
 
@@ -96,6 +104,7 @@ type QP struct {
 	curVA       uint64
 	curRKey     uint32
 	curValue    float64
+	msgStamp    sim.Time // emission stamp of the current message's first packet
 	lastCNP     sim.Time
 
 	// IRN responder state: buffered out-of-order packets and NACK dedup.
@@ -195,6 +204,7 @@ func (qp *QP) Flush() {
 	// Responder: discard partial assembly and buffered out-of-order data so
 	// a pre-fault message prefix can never merge with post-recovery bytes.
 	qp.curBytes, qp.curVA, qp.curRKey, qp.curValue = 0, 0, 0, 0
+	qp.msgStamp = 0
 	qp.sinceAck, qp.ackDue, qp.nackPending = 0, false, false
 	if qp.ooo != nil {
 		qp.ooo = make(map[uint64]oooPkt)
@@ -645,6 +655,9 @@ func (qp *QP) handleData(p *simnet.Packet) {
 // requester-side emission time of this packet (not of ref, which for a
 // buffered out-of-order packet is the later gap-filler).
 func (qp *QP) ingest(payload int, last bool, msgID uint64, va uint64, rkey uint32, value float64, stamp sim.Time, ref *simnet.Packet) {
+	if qp.curBytes == 0 && stamp > 0 {
+		qp.msgStamp = stamp
+	}
 	if stamp > 0 {
 		lat := int64(qp.eng.Now() - stamp)
 		qp.LatHist.Observe(lat)
@@ -670,11 +683,15 @@ func (qp *QP) ingest(payload int, last bool, msgID uint64, va uint64, rkey uint3
 	qp.curBytes += payload
 	qp.sinceAck++
 	if last {
+		if qp.msgStamp > 0 {
+			qp.MsgLatHist.Observe(int64(qp.eng.Now() - qp.msgStamp))
+		}
 		m := Message{
 			MsgID: msgID, Size: qp.curBytes, Src: ref.Src, SrcQP: ref.SrcQP,
 			WriteVA: qp.curVA, WriteRKey: qp.curRKey, Value: qp.curValue,
 		}
 		qp.curBytes, qp.curVA, qp.curRKey, qp.curValue = 0, 0, 0, 0
+		qp.msgStamp = 0
 		if qp.OnMessage != nil {
 			qp.nic.stackDefer(qp.nic.Cfg.DeliverOverhead, func() { qp.OnMessage(m) })
 		}

@@ -90,6 +90,14 @@ func (r *RNIC) MergeDeliveryLatency(h *obs.Histogram) {
 	}
 }
 
+// MergeMessageLatency folds every QP's per-message delivery-latency
+// histogram into h (first data packet emitted to last packet accepted).
+func (r *RNIC) MergeMessageLatency(h *obs.Histogram) {
+	for _, qp := range r.qps {
+		h.Merge(&qp.MsgLatHist)
+	}
+}
+
 // NewRNIC attaches a RoCE engine to a host and installs itself as the
 // host's packet handler.
 func NewRNIC(h *simnet.Host, cfg Config) *RNIC {

@@ -111,7 +111,18 @@ type Engine struct {
 	// Parallel-execution identity: nil/0 for a standalone engine.
 	par *Parallel
 	lp  int32
-	out []outbox // per-destination-LP mailboxes, indexed by LP id
+
+	// Double-buffered cross-LP mailboxes, indexed by write parity then
+	// destination LP. During window N the owning worker appends to parity
+	// N%2 while destination workers merge the opposite parity (written in
+	// window N-1) — so the merge and the next window overlap with a single
+	// barrier between them. dirty lists the destinations this LP touched in
+	// each parity (the sparse alternative to scanning all LPs^2 boxes every
+	// window) and outMin tracks the earliest buffered timestamp per parity,
+	// so the coordinator's next-window bound never walks the boxes.
+	out    [2][]outbox
+	dirty  [2][]int32
+	outMin [2]Time
 
 	// Inbound cross-LP slab: messages injected by the coordinator at window
 	// barriers, kept sorted by (at, seq) and consumed from slabIdx forward.
@@ -478,9 +489,14 @@ func (e *Engine) Resume() { e.stopped = false }
 // ScheduleRemote schedules h.OnEvent(dst, arg) at absolute time at on dst,
 // which may be a different logical process of the same Parallel run. Calls
 // targeting the local engine degrade to ScheduleHandler; cross-LP messages
-// are appended to a single-producer outbox and merged into dst's heap at the
-// next window barrier in a fixed (time, source LP, send order) total order,
-// so results are independent of how many workers drive the run.
+// are appended to a single-producer outbox of the window's write parity and
+// merged into dst's slab by dst's own worker at the start of the next window
+// in a fixed (time, source LP, send order) total order, so results are
+// independent of how many workers drive the run.
+//
+// The first message to a destination this window also records it in the
+// parity's dirty list, which is what the coordinator transposes into
+// per-destination merge work — no LP ever scans another LP's empty boxes.
 //
 // Conservative synchronization requires at to lie at or beyond the end of
 // the current window; the network layer guarantees this by construction,
@@ -493,10 +509,19 @@ func (e *Engine) ScheduleRemote(dst *Engine, at Time, h Handler, arg any) {
 	if e.par == nil || dst.par != e.par {
 		panic("sim: ScheduleRemote across engines that do not share a Parallel run")
 	}
-	if e.out == nil {
+	if e.out[0] == nil {
 		panic("sim: ScheduleRemote before Parallel.Finalize")
 	}
-	e.out[dst.lp] = append(e.out[dst.lp], crossMsg{at: at, h: h, arg: arg})
+	wp := e.par.wp
+	d := dst.lp
+	box := e.out[wp][d]
+	if len(box) == 0 {
+		e.dirty[wp] = append(e.dirty[wp], d)
+	}
+	if at < e.outMin[wp] {
+		e.outMin[wp] = at
+	}
+	e.out[wp][d] = append(box, crossMsg{at: at, h: h, arg: arg})
 }
 
 // injectSlab hands this engine one window barrier's worth of inbound cross-LP

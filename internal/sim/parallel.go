@@ -10,25 +10,34 @@
 // window can cause another LP to receive anything earlier than the window's
 // end, so no LP ever has to roll back.
 //
-// Cross-LP messages travel through per-(source, destination) outboxes that
-// only the source LP's worker appends to during a window; at the barrier
-// between windows a single coordinator merges each destination's incoming
-// messages into its heap in a fixed (timestamp, source LP, send order)
-// total order. Because the partition, the per-LP RNG streams, and the merge
-// order are all functions of the topology and seed alone — never of the
-// worker count or wall-clock interleaving — a run produces byte-identical
-// results whether it is driven by one worker, eight, or RunSerial on the
-// coordinator itself. See DESIGN.md §9.
+// Cross-LP messages travel through double-buffered per-(source, destination)
+// outboxes: during window N the source's worker appends to the parity-N%2
+// buffer, and at the start of window N+1 each destination's own worker
+// merges the parity-N%2 buffers aimed at it into its heap in a fixed
+// (timestamp, source LP, send order) total order — the merge of window N's
+// traffic overlaps window N+1's writes into the opposite parity, so one
+// barrier per window suffices and the entire drain phase parallelizes
+// across workers. Because the partition, the per-LP RNG streams, and the
+// merge order are all functions of the topology and seed alone — never of
+// the worker count or wall-clock interleaving — a run produces
+// byte-identical results whether it is driven by one worker, eight, or
+// RunSerial on the coordinator itself. See DESIGN.md §9 and §14.
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // crossMsg is one cross-LP event hand-off: the scheduled handler and its
-// absolute timestamp, buffered until the next window barrier. seq is assigned
-// by the destination engine when the coordinator injects the message into its
+// absolute timestamp, buffered until the next window's merge. seq is assigned
+// by the destination engine when its worker injects the message into its
 // slab (Engine.injectSlab), giving slab entries the same total order as
 // heap events.
 type crossMsg struct {
@@ -39,10 +48,14 @@ type crossMsg struct {
 }
 
 // outbox is the single-producer buffer of messages from one source LP to one
-// destination LP. The source's worker appends during a window; the
-// coordinator drains at the barrier. The window barrier itself provides the
-// happens-before edge, so no per-message synchronization is needed.
+// destination LP within one parity. The source's worker appends during a
+// window; the destination's worker drains the opposite parity at the start
+// of the next window. The window barrier provides the happens-before edge,
+// so no per-message synchronization is needed.
 type outbox []crossMsg
+
+// maxTime is the outMin sentinel: no buffered cross-LP message.
+const maxTime = Time(1<<63 - 1)
 
 // Outcome reports why a Parallel run returned.
 type Outcome int
@@ -68,7 +81,7 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
 
-// drainKey orders one incoming message during a barrier merge.
+// drainKey orders one incoming message during a merge.
 type drainKey struct {
 	at  Time
 	src int32
@@ -85,6 +98,151 @@ func (a *drainKey) less(b *drainKey) bool {
 	return a.idx < b.idx
 }
 
+// drainSort co-sorts keys and msgs by drainKey order.
+type drainSort struct {
+	keys []drainKey
+	msgs []crossMsg
+}
+
+func (s *drainSort) Len() int           { return len(s.keys) }
+func (s *drainSort) Less(i, j int) bool { return s.keys[i].less(&s.keys[j]) }
+func (s *drainSort) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.msgs[i], s.msgs[j] = s.msgs[j], s.msgs[i]
+}
+
+// workerScratch is one worker's private window state: reusable merge
+// buffers (so steady-state windows allocate nothing at any worker count)
+// plus the end-of-window report the coordinator aggregates instead of
+// rescanning every LP. The trailing pad keeps adjacent workers' hot fields
+// off a shared cache line.
+type workerScratch struct {
+	keys   []drainKey
+	msgs   []crossMsg
+	sorter drainSort
+
+	// End-of-window report: earliest pending timestamp across this worker's
+	// LPs (heap, slab, and freshly written outboxes) and whether any of its
+	// LPs executed an event. Written by the worker, read by the coordinator
+	// at the barrier.
+	min Time
+	has bool
+	ran bool
+
+	_ [64]byte
+}
+
+// workerPark is one worker's parking slot of the phase barrier: a flag the
+// releaser swaps to decide whether a wake token is owed, and a buffered
+// channel carrying at most that one token.
+type workerPark struct {
+	parked atomic.Int32
+	wake   chan struct{}
+	_      [40]byte
+}
+
+// phaseBarrier is a sense-reversing spin-then-park barrier. The coordinator
+// releases a window by bumping gen; workers spin on gen briefly and park on
+// their wake channel only if the release does not arrive. Arrival runs in
+// the other direction: workers count into arrived, and the last one wakes
+// the coordinator if it parked. The parked-flag Swap protocol makes the
+// hand-off lost-wakeup-free: whoever swaps the flag from 1 owns the token.
+// Two channel operations per worker per window (the old handshake) become
+// zero in the spin path and at most one park/wake pair otherwise.
+type phaseBarrier struct {
+	gen     atomic.Uint64
+	arrived atomic.Int32
+	quit    atomic.Bool
+	nw      int32 // parked worker goroutines (workers 1..n-1; 0 is the coordinator)
+	spins   int
+
+	coordParked atomic.Int32
+	coordWake   chan struct{}
+
+	workers []workerPark
+}
+
+// release opens the next window: reset the arrival count, publish the new
+// generation, and hand a wake token to every worker that already parked.
+func (b *phaseBarrier) release() {
+	b.arrived.Store(0)
+	b.gen.Add(1)
+	for i := range b.workers {
+		if b.workers[i].parked.Swap(0) == 1 {
+			b.workers[i].wake <- struct{}{}
+		}
+	}
+}
+
+// awaitGen blocks worker w until generation want is released, spinning first
+// and parking only if the release is slow. Returns false when the pool is
+// shutting down.
+func (b *phaseBarrier) awaitGen(w int, want uint64) bool {
+	for i := 0; i < b.spins; i++ {
+		if b.gen.Load() >= want {
+			return !b.quit.Load()
+		}
+	}
+	wp := &b.workers[w-1]
+	for b.gen.Load() < want {
+		wp.parked.Store(1)
+		if b.gen.Load() >= want {
+			if wp.parked.Swap(0) == 0 {
+				// The releaser claimed the flag first and owes a token;
+				// consume it so it cannot leak into the next window.
+				<-wp.wake
+			}
+			break
+		}
+		<-wp.wake
+	}
+	return !b.quit.Load()
+}
+
+// arrive reports one worker's window as finished; the last arrival wakes the
+// coordinator if it parked.
+func (b *phaseBarrier) arrive() {
+	if b.arrived.Add(1) == b.nw {
+		if b.coordParked.Swap(0) == 1 {
+			b.coordWake <- struct{}{}
+		}
+	}
+}
+
+// gather blocks the coordinator until every worker has arrived.
+func (b *phaseBarrier) gather() {
+	for i := 0; i < b.spins; i++ {
+		if b.arrived.Load() == b.nw {
+			return
+		}
+	}
+	for b.arrived.Load() < b.nw {
+		b.coordParked.Store(1)
+		if b.arrived.Load() == b.nw {
+			if b.coordParked.Swap(0) == 0 {
+				<-b.coordWake
+			}
+			return
+		}
+		<-b.coordWake
+	}
+}
+
+// barrierSpins sizes the spin phase. On a single-CPU box spinning can only
+// delay the goroutine that would make progress, so workers park immediately;
+// with more workers than CPUs a short spin bounds the waste.
+func barrierSpins(workers int) int {
+	procs := runtime.GOMAXPROCS(0)
+	switch {
+	case procs <= 1:
+		return 0
+	case workers > procs:
+		return 1_000
+	default:
+		return 20_000
+	}
+}
+
 // Parallel coordinates a set of LP engines through lookahead-bounded
 // windows. Construct with NewParallel, create engines with AddLP, then call
 // Finalize once before the first event is scheduled across LPs.
@@ -96,32 +254,42 @@ type Parallel struct {
 	floor     Time // start of the most recently executed window
 	finalized bool
 
-	// Barrier scratch, reused across windows to keep the coordinator
-	// allocation-free in steady state. sorter is a persistent field so taking
-	// its address for sort.Sort never escapes a fresh header to the heap —
-	// boxing one per destination per window was the dominant allocation of
-	// parallel runs (BENCH_pr4: 1045 allocs at workers=1 vs ~4850 at
-	// workers>=2).
-	keys   []drainKey
-	msgs   []crossMsg
-	sorter drainSort
+	// wp is the write parity of the window currently (or most recently)
+	// executing: ScheduleRemote appends into out[wp], while merges drain
+	// out[wp^1]. Only the coordinator flips it, at the barrier.
+	wp int
+
+	// phaseEnd is the current window's exclusive end, published by the
+	// coordinator before releasing workers.
+	phaseEnd Time
+
+	// incoming[d] is the coordinator's transpose of the source dirty lists:
+	// which sources have messages for destination d this merge, in ascending
+	// source order. touched lists the destinations with any, so clearing is
+	// proportional to traffic, not to LPs.
+	incoming [][]int32
+	touched  []int32
 
 	// weights biases the LP->worker assignment (SetLPWeights); nil means
 	// uniform.
 	weights []float64
 
-	// Persistent worker pool, started lazily on the first Run. plan[w] lists
-	// the LPs worker w executes each window, fixed at pool start by weighted
-	// longest-processing-time assignment.
+	// Execution plan and per-worker state, built lazily on the first run.
+	// plan[w] lists the LPs worker w merges and executes each window, fixed
+	// by weighted longest-processing-time assignment. The coordinator is
+	// worker 0; goroutines exist only for workers 1..n-1.
+	plan   [][]int
+	wstate []workerScratch
+
 	started bool
-	startCh []chan Time
-	doneCh  chan struct{}
-	plan    [][]int
+	bar     *phaseBarrier
+	wg      sync.WaitGroup
 
 	// barrier, when set, runs on the coordinator at every window barrier
-	// (all workers parked). The observability layer hooks it to drain
-	// per-LP trace shards; any coordinator-side bookkeeping that must see a
-	// consistent cross-LP snapshot can ride on it.
+	// where state changed (all workers parked). The observability layer
+	// hooks it to drain per-LP trace shards; any coordinator-side
+	// bookkeeping that must see a consistent cross-LP snapshot can ride on
+	// it.
 	barrier func()
 }
 
@@ -158,18 +326,28 @@ func (p *Parallel) AddLP() *Engine {
 }
 
 // Finalize fixes the LP set and the lookahead, sizing every engine's
-// outboxes. lookahead is the conservative window length: the minimum
-// virtual-time distance of any cross-LP interaction. A lookahead <= 0 means
-// no cross-LP links exist and windows are unbounded.
+// outboxes and dirty lists. lookahead is the conservative window length:
+// the minimum virtual-time distance of any cross-LP interaction. A
+// lookahead <= 0 means no cross-LP links exist and windows are unbounded.
 func (p *Parallel) Finalize(lookahead Time) {
 	if p.finalized {
 		panic("sim: Finalize called twice")
 	}
 	p.finalized = true
 	p.lookahead = lookahead
+	n := len(p.lps)
 	for _, e := range p.lps {
-		e.out = make([]outbox, len(p.lps))
+		for par := 0; par < 2; par++ {
+			e.out[par] = make([]outbox, n)
+			e.dirty[par] = make([]int32, 0, n)
+			e.outMin[par] = maxTime
+		}
 	}
+	p.incoming = make([][]int32, n)
+	for i := range p.incoming {
+		p.incoming[i] = make([]int32, 0, n)
+	}
+	p.touched = make([]int32, 0, n)
 }
 
 // NumLPs returns the partition size.
@@ -191,7 +369,7 @@ func (p *Parallel) Workers() int { return p.workers }
 // affects wall-clock balance only — never simulated results, which are fixed
 // by the partition and seed alone.
 func (p *Parallel) SetLPWeights(w []float64) {
-	if p.started {
+	if p.plan != nil {
 		panic("sim: SetLPWeights after workers started")
 	}
 	if len(w) != len(p.lps) {
@@ -237,11 +415,10 @@ func (p *Parallel) buildPlan(w int) [][]int {
 	return plan
 }
 
-// SetBarrier installs a hook that the coordinator invokes at every window
-// barrier, after cross-LP outboxes have been drained and while all workers
-// are parked — the hook may therefore read (and reset) state written by any
-// LP during preceding windows without synchronization. A nil f removes the
-// hook.
+// SetBarrier installs a hook that the coordinator invokes at window barriers
+// where simulation state changed, while all workers are parked — the hook
+// may therefore read (and reset) state written by any LP during preceding
+// windows without synchronization. A nil f removes the hook.
 func (p *Parallel) SetBarrier(f func()) { p.barrier = f }
 
 // Now returns the virtual-time floor: the start of the most recent window.
@@ -258,7 +435,7 @@ func (p *Parallel) EventsRun() uint64 {
 }
 
 // Pending sums scheduled events across LP heaps (outboxes are empty between
-// runs; drains happen before the coordinator returns).
+// runs; the coordinator drains any residue before Run returns).
 func (p *Parallel) Pending() int {
 	n := 0
 	for _, e := range p.lps {
@@ -267,57 +444,164 @@ func (p *Parallel) Pending() int {
 	return n
 }
 
-// drain merges every outbox into its destination heap in (timestamp, source
-// LP, send order) order, assigning destination sequence numbers in that
-// fixed order. It runs only on the coordinator, between windows.
-func (p *Parallel) drain() {
-	for di, dst := range p.lps {
-		p.keys = p.keys[:0]
-		p.msgs = p.msgs[:0]
-		for si, src := range p.lps {
-			box := src.out[di]
-			for mi := range box {
-				p.keys = append(p.keys, drainKey{at: box[mi].at, src: int32(si), idx: int32(mi)})
-				p.msgs = append(p.msgs, box[mi])
-				box[mi] = crossMsg{} // drop handler/arg refs for the GC
-			}
-			src.out[di] = box[:0]
-		}
-		if len(p.keys) == 0 {
+// transpose turns the per-source dirty lists of one parity into
+// per-destination merge work: incoming[d] receives every source with
+// messages for d, in ascending source order (sources are scanned in LP
+// order), and the scanned dirty lists and outbox minima are reset. It runs
+// only on the coordinator, with all workers parked, and costs O(LPs +
+// dirty pairs) — not O(LPs^2).
+func (p *Parallel) transpose(par int) {
+	for _, d := range p.touched {
+		p.incoming[d] = p.incoming[d][:0]
+	}
+	p.touched = p.touched[:0]
+	for si, src := range p.lps {
+		dl := src.dirty[par]
+		if len(dl) == 0 {
 			continue
 		}
-		p.sorter.keys, p.sorter.msgs = p.keys, p.msgs
-		sort.Sort(&p.sorter)
-		dst.injectSlab(p.msgs)
-		for i := range p.msgs {
-			p.msgs[i] = crossMsg{} // scratch: drop refs for the GC
+		for _, d := range dl {
+			if len(p.incoming[d]) == 0 {
+				p.touched = append(p.touched, d)
+			}
+			p.incoming[d] = append(p.incoming[d], int32(si))
+		}
+		src.dirty[par] = dl[:0]
+		src.outMin[par] = maxTime
+	}
+}
+
+// mergeDst merges destination d's incoming parity-par boxes into its slab in
+// (timestamp, source LP, send order) order, using ws's reusable scratch, and
+// resets the drained boxes. Callers guarantee exclusive access to d and to
+// the listed source boxes: during a window that is d's owning worker (each
+// (source box, destination) cell has exactly one reader), at exit barriers
+// the coordinator.
+func (p *Parallel) mergeDst(ws *workerScratch, d int, srcs []int32, par int) {
+	keys := ws.keys[:0]
+	msgs := ws.msgs[:0]
+	for _, si := range srcs {
+		src := p.lps[si]
+		box := src.out[par][d]
+		for mi := range box {
+			keys = append(keys, drainKey{at: box[mi].at, src: si, idx: int32(mi)})
+			msgs = append(msgs, box[mi])
+			box[mi] = crossMsg{} // drop handler/arg refs for the GC
+		}
+		src.out[par][d] = box[:0]
+	}
+	ws.sorter.keys, ws.sorter.msgs = keys, msgs
+	sort.Sort(&ws.sorter)
+	p.lps[d].injectSlab(msgs)
+	for i := range msgs {
+		msgs[i] = crossMsg{} // scratch: drop refs for the GC
+	}
+	ws.keys, ws.msgs = keys, msgs // retain grown capacity
+}
+
+// drainAll serially merges every buffered cross-LP message of both parities
+// into its destination. The coordinator calls it at Run entry (to absorb
+// remote scheduling done between runs) and before every return, preserving
+// the contract that outboxes are empty whenever Run is not executing.
+func (p *Parallel) drainAll() {
+	ws := &p.wstate[0]
+	for par := 0; par < 2; par++ {
+		p.transpose(par)
+		for _, d := range p.touched {
+			p.mergeDst(ws, int(d), p.incoming[d], par)
 		}
 	}
 }
 
-// drainSort co-sorts keys and msgs by drainKey order.
-type drainSort struct {
-	keys []drainKey
-	msgs []crossMsg
+// mergePhase drains the previous window's traffic aimed at worker w's LPs.
+// It runs concurrently with every other worker's mergePhase and runPhase:
+// merges read parity wp^1 while runs write parity wp, and each destination
+// (and each source box column) has exactly one reading worker.
+func (p *Parallel) mergePhase(w int) {
+	par := p.wp ^ 1
+	ws := &p.wstate[w]
+	for _, d := range p.plan[w] {
+		if srcs := p.incoming[d]; len(srcs) > 0 {
+			p.mergeDst(ws, d, srcs, par)
+		}
+	}
 }
 
-func (s *drainSort) Len() int           { return len(s.keys) }
-func (s *drainSort) Less(i, j int) bool { return s.keys[i].less(&s.keys[j]) }
-func (s *drainSort) Swap(i, j int) {
-	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
-	s.msgs[i], s.msgs[j] = s.msgs[j], s.msgs[i]
+// runPhase executes one window for each of worker w's LPs and records
+// whether any of them ran an event.
+func (p *Parallel) runPhase(w int, end Time) {
+	ran := false
+	for _, lp := range p.plan[w] {
+		e := p.lps[lp]
+		n0 := e.nRun
+		e.runWindow(end)
+		ran = ran || e.nRun != n0
+	}
+	p.wstate[w].ran = ran
 }
 
-// nextTime returns the earliest pending timestamp across LPs.
-func (p *Parallel) nextTime() (Time, bool) {
+// minPhase records worker w's earliest pending timestamp: heap and slab
+// minima plus the minimum of any cross-LP messages its LPs buffered this
+// window. Aggregating these per-worker reports is how the coordinator finds
+// the next window's start without rescanning every LP.
+func (p *Parallel) minPhase(w int) {
+	var m Time
+	has := false
+	wp := p.wp
+	for _, lp := range p.plan[w] {
+		e := p.lps[lp]
+		if t, ok := e.NextEventTime(); ok && (!has || t < m) {
+			m, has = t, true
+		}
+		if om := e.outMin[wp]; om != maxTime && (!has || om < m) {
+			m, has = om, true
+		}
+	}
+	ws := &p.wstate[w]
+	ws.min, ws.has = m, has
+}
+
+// phase is one worker's whole window: merge inbound traffic, execute, report.
+func (p *Parallel) phase(w int) {
+	end := p.phaseEnd
+	p.mergePhase(w)
+	p.runPhase(w, end)
+	p.minPhase(w)
+}
+
+// scanMin is the full next-event scan, used only on the first window of a
+// Run (worker reports are stale or absent there).
+func (p *Parallel) scanMin() (Time, bool) {
 	var m Time
 	ok := false
 	for _, e := range p.lps {
 		if t, has := e.NextEventTime(); has && (!ok || t < m) {
 			m, ok = t, true
 		}
+		for par := 0; par < 2; par++ {
+			if om := e.outMin[par]; om != maxTime && (!ok || om < m) {
+				m, ok = om, true
+			}
+		}
 	}
 	return m, ok
+}
+
+// gatherMin aggregates the per-worker end-of-window reports: the earliest
+// pending timestamp anywhere and whether any LP executed an event.
+func (p *Parallel) gatherMin() (Time, bool, bool) {
+	var m Time
+	has, changed := false, false
+	for i := range p.wstate {
+		ws := &p.wstate[i]
+		if ws.ran {
+			changed = true
+		}
+		if ws.has && (!has || ws.min < m) {
+			m, has = ws.min, true
+		}
+	}
+	return m, has, changed
 }
 
 // windowEnd bounds one window starting at m. With no cross-LP links the
@@ -337,15 +621,13 @@ func (p *Parallel) windowEnd(m, limit Time) Time {
 	return end
 }
 
-// startWorkers spins up the persistent worker pool: each worker executes a
-// fixed list of LPs every window, built by buildPlan. The static assignment
-// is irrelevant to results (LPs share nothing within a window) — it only
-// spreads load.
-func (p *Parallel) startWorkers() {
-	if p.started {
+// ensurePlan builds the LP->worker plan and per-worker scratch once, on the
+// first run. The plan is fixed for the lifetime of the Parallel so merge
+// ownership (which worker drains which destination) never shifts.
+func (p *Parallel) ensurePlan() {
+	if p.plan != nil {
 		return
 	}
-	p.started = true
 	w := p.workers
 	if w > len(p.lps) {
 		w = len(p.lps)
@@ -355,19 +637,51 @@ func (p *Parallel) startWorkers() {
 	}
 	p.workers = w
 	p.plan = p.buildPlan(w)
-	p.startCh = make([]chan Time, w)
-	p.doneCh = make(chan struct{}, w)
-	for i := 0; i < w; i++ {
-		p.startCh[i] = make(chan Time, 1)
-		go func(worker int) {
-			mine := p.plan[worker]
-			for end := range p.startCh[worker] {
-				for _, lp := range mine {
-					p.lps[lp].runWindow(end)
-				}
-				p.doneCh <- struct{}{}
-			}
+	p.wstate = make([]workerScratch, w)
+}
+
+// startWorkers spins up the persistent pool: workers 1..n-1 each own a fixed
+// slice of the plan (the coordinator executes plan[0] itself), labeled for
+// CPU profiles so barrier, merge, and LP-execution time attribute per
+// worker. The static assignment is irrelevant to results — LPs share
+// nothing within a window — it only spreads load.
+func (p *Parallel) startWorkers() {
+	if p.started {
+		return
+	}
+	p.started = true
+	n := p.workers
+	b := &phaseBarrier{
+		nw:        int32(n - 1),
+		spins:     barrierSpins(n),
+		coordWake: make(chan struct{}, 1),
+		workers:   make([]workerPark, n-1),
+	}
+	for i := range b.workers {
+		b.workers[i].wake = make(chan struct{}, 1)
+	}
+	p.bar = b
+	p.wg.Add(n - 1)
+	for i := 1; i < n; i++ {
+		go func(w int) {
+			defer p.wg.Done()
+			pprof.Do(context.Background(), pprof.Labels("pdes-worker", strconv.Itoa(w)), func(context.Context) {
+				p.workerLoop(w)
+			})
 		}(i)
+	}
+}
+
+// workerLoop is one pooled worker: await a window release, run the phase,
+// report arrival. Exits when Close releases with the quit flag set.
+func (p *Parallel) workerLoop(w int) {
+	b := p.bar
+	for gen := uint64(1); ; gen++ {
+		if !b.awaitGen(w, gen) {
+			return
+		}
+		p.phase(w)
+		b.arrive()
 	}
 }
 
@@ -378,26 +692,27 @@ func (p *Parallel) Close() {
 		return
 	}
 	p.started = false
-	for _, ch := range p.startCh {
-		close(ch)
-	}
-	p.startCh, p.doneCh = nil, nil
+	p.bar.quit.Store(true)
+	p.bar.release()
+	p.wg.Wait()
+	p.bar = nil
 }
 
-// Run executes windows until pred (evaluated at every barrier, with all
-// workers parked) returns true, the next event lies beyond limit, or the
-// run quiesces. pred may be nil. The coordinator — the calling goroutine —
-// owns all cross-LP merging, so pred may freely read state written by any
-// LP during preceding windows.
+// Run executes windows until pred (evaluated at barriers where state
+// changed, with all workers parked) returns true, the next event lies
+// beyond limit, or the run quiesces. pred may be nil. The coordinator — the
+// calling goroutine — participates as worker 0 and owns all cross-window
+// sequencing, so pred may freely read state written by any LP during
+// preceding windows.
 func (p *Parallel) Run(limit Time, pred func() bool) Outcome {
 	return p.run(limit, pred, false)
 }
 
 // RunSerial is Run on a single goroutine: the coordinator executes every
-// LP's window itself in LP order. The schedule — and therefore every
-// simulated result — is byte-identical to Run's; RunSerial exists for
-// driver phases whose callbacks touch cross-LP shared state (e.g. a shared
-// completion counter) and would race under concurrent workers.
+// worker's phase itself. The schedule — and therefore every simulated
+// result — is byte-identical to Run's; RunSerial exists for driver phases
+// whose callbacks touch cross-LP shared state (e.g. a shared completion
+// counter) and would race under concurrent workers.
 func (p *Parallel) RunSerial(limit Time, pred func() bool) Outcome {
 	return p.run(limit, pred, true)
 }
@@ -406,36 +721,53 @@ func (p *Parallel) run(limit Time, pred func() bool, serial bool) Outcome {
 	if !p.finalized {
 		panic("sim: Run before Finalize")
 	}
+	p.ensurePlan()
+	p.drainAll() // absorb any remote scheduling done between runs
+	// Concurrency can only cost on one CPU, so a multi-worker run degrades
+	// to the (result-identical) inline schedule there.
+	inline := serial || p.workers == 1 || runtime.GOMAXPROCS(0) == 1
+	first := true
 	for {
-		p.drain()
-		if p.barrier != nil {
-			p.barrier()
+		// Barrier-sequential section: all workers parked.
+		var m Time
+		var ok, changed bool
+		if first {
+			m, ok = p.scanMin()
+			changed, first = true, false
+		} else {
+			m, ok, changed = p.gatherMin()
 		}
-		if pred != nil && pred() {
-			return Done
+		if changed {
+			if p.barrier != nil {
+				p.barrier()
+			}
+			if pred != nil && pred() {
+				p.drainAll()
+				return Done
+			}
 		}
-		m, ok := p.nextTime()
 		if !ok {
+			p.drainAll()
 			return Quiescent
 		}
 		if m > limit {
+			p.drainAll()
 			return Horizon
 		}
 		p.floor = m
-		end := p.windowEnd(m, limit)
-		if serial || len(p.lps) == 1 {
-			for _, e := range p.lps {
-				e.runWindow(end)
+		p.phaseEnd = p.windowEnd(m, limit)
+		p.transpose(p.wp)
+		p.wp ^= 1
+		if inline {
+			for w := range p.plan {
+				p.phase(w)
 			}
 			continue
 		}
 		p.startWorkers()
-		for _, ch := range p.startCh {
-			ch <- end
-		}
-		for range p.startCh {
-			<-p.doneCh
-		}
+		p.bar.release()
+		p.phase(0)
+		p.bar.gather()
 	}
 }
 

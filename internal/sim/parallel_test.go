@@ -242,3 +242,78 @@ func TestParallelSingleLPMatchesSequential(t *testing.T) {
 		t.Fatal("RNG streams diverged between 1-LP parallel and sequential runs")
 	}
 }
+
+// fanOut is a deterministic all-to-all workload: each firing sends one
+// message to every other LP at fixed relative offsets, until its LP's
+// respawn budget is exhausted. Every burst replays the same shape relative
+// to the current clock, so buffer high-water marks are identical from one
+// burst to the next — which is what an allocation-regression test needs
+// (the randomized churn workload keeps setting new high-water marks and
+// would report residual growth as false-positive leaks).
+type fanOut struct {
+	par  *Parallel
+	left []int
+}
+
+func (f *fanOut) OnEvent(e *Engine, arg any) {
+	lp := e.LP()
+	if f.left[lp] <= 0 {
+		return
+	}
+	f.left[lp]--
+	for d := 0; d < f.par.NumLPs(); d++ {
+		if d == lp {
+			continue
+		}
+		e.ScheduleRemote(f.par.LP(d), e.Now()+200+Time(d), f, nil)
+	}
+	e.AfterHandler(37, f, nil)
+}
+
+// TestParallelSteadyStateAllocs pins the executor's steady-state allocation
+// contract: once the merge scratch, dirty lists, and slab buffers have grown
+// to the workload's high-water mark, further windows allocate nothing on the
+// coordinator path. The first run warms every buffer; the measured runs must
+// then be allocation-free (serial path exactly; the worker path gets a small
+// slack for runtime park/unpark bookkeeping on multi-core machines).
+func TestParallelSteadyStateAllocs(t *testing.T) {
+	p := NewParallel(11, 4)
+	defer p.Close()
+	const nLP = 8
+	for i := 0; i < nLP; i++ {
+		p.AddLP()
+	}
+	p.Finalize(200)
+	f := &fanOut{par: p, left: make([]int, nLP)}
+	burst := func() {
+		for i := 0; i < nLP; i++ {
+			f.left[i] = 40
+			p.LP(i).ScheduleHandler(p.LP(i).Now()+Time(i+1), f, nil)
+		}
+	}
+	burst()
+	if out := p.RunSerial(Time(1)<<40, nil); out != Quiescent {
+		t.Fatalf("warmup outcome = %v, want Quiescent", out)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		burst()
+		if out := p.RunSerial(Time(1)<<40, nil); out != Quiescent {
+			t.Fatalf("outcome = %v, want Quiescent", out)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state serial windows allocate: %.1f allocs/run, want 0", allocs)
+	}
+	// The concurrent path may touch runtime park/unpark machinery; allow a
+	// small slack but catch per-window or per-message regressions, which
+	// show up in the hundreds.
+	allocs = testing.AllocsPerRun(3, func() {
+		burst()
+		if out := p.Run(Time(1)<<40, nil); out != Quiescent {
+			t.Fatalf("outcome = %v, want Quiescent", out)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("steady-state parallel windows allocate: %.1f allocs/run, want <= 16", allocs)
+	}
+}

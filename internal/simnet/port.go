@@ -607,7 +607,11 @@ func (pt *Port) trySend() {
 		}
 		if cross {
 			// Cross-LP link: delivery — and packet ownership — hands off to
-			// the receiving LP through the window-barrier mailbox. The
+			// the receiving LP. ScheduleRemote appends to this LP's
+			// current-parity outbox for the peer and marks the peer dirty in
+			// the source's sparse destination list; the peer's own worker
+			// sorts and injects the batch at the start of the next window
+			// (DESIGN.md §14), so no lock or channel is touched here. The
 			// propagation delay of every cross-LP link is at least the
 			// partition's lookahead, so the arrival always lands at or
 			// beyond the current window's end. The peer's fail-stop epoch

@@ -241,23 +241,31 @@ func LeafSpineWith(eng *sim.Engine, leaves, spines, hostsPerLeaf int, rate float
 //
 // The assignment is a pure function of the topology — LP i is switch i in
 // build order — never of par's worker count, which is what makes results
-// byte-identical across worker counts (see DESIGN.md §9). Call it on a
-// freshly built network, with a fresh Parallel, before any traffic or timers
-// exist; the network's original engine is disconnected so stray scheduling
-// on it fails loudly instead of silently never running.
+// byte-identical across worker counts (see DESIGN.md §9). Switch weights
+// (ports plus attached hosts) are handed to par.SetLPWeights so the
+// LP→worker plan balances loaded leaves against bare spines — weights steer
+// only which worker runs an LP, never what the LP computes, so they cannot
+// perturb results. Call it on a freshly built network, with a fresh
+// Parallel, before any traffic or timers exist; the network's original
+// engine is disconnected so stray scheduling on it fails loudly instead of
+// silently never running.
 func (n *Network) Partition(par *sim.Parallel) sim.Time {
 	if par.NumLPs() != 0 {
 		panic("topo: Partition requires a fresh Parallel")
 	}
 	lps := make([]*sim.Engine, len(n.Switches))
 	idx := make(map[*simnet.Switch]int, len(n.Switches))
+	weights := make([]float64, len(n.Switches))
 	for i, sw := range n.Switches {
 		lps[i] = par.AddLP()
 		idx[sw] = i
 		sw.Rebind(lps[i])
+		weights[i] = float64(len(sw.Ports))
 	}
 	for _, h := range n.Hosts {
-		h.Rebind(lps[idx[n.LeafOf(h)]])
+		i := idx[n.LeafOf(h)]
+		h.Rebind(lps[i])
+		weights[i]++ // the host's NIC/stack load rides on its leaf's LP
 	}
 	var la sim.Time
 	for _, sw := range n.Switches {
@@ -269,6 +277,7 @@ func (n *Network) Partition(par *sim.Parallel) sim.Time {
 			}
 		}
 	}
+	par.SetLPWeights(weights)
 	par.Finalize(la)
 	n.Eng = nil
 	return la

@@ -224,6 +224,21 @@ func (c *Cluster) DeliveryLatency() obs.Summary {
 	return h.Summary()
 }
 
+// MessageLatency merges every QP's per-message delivery-latency histogram
+// across the cluster's RNICs: the distribution, in nanoseconds, from the
+// requester emitting a message's first data packet to a responder accepting
+// its last packet in order. Each receiver of a multicast contributes one
+// sample per message, so the percentiles spread with fan-out, pacing, and
+// retransmission — unlike per-packet transit latency, which is nearly
+// constant on an uncongested fabric.
+func (c *Cluster) MessageLatency() obs.Summary {
+	var h obs.Histogram
+	for _, r := range c.RNICs {
+		r.MergeMessageLatency(&h)
+	}
+	return h.Summary()
+}
+
 // QueueDepth merges the egress queue-depth histograms of every port in the
 // fabric (switch egresses and host NICs): the distribution, in bytes, of
 // queue occupancy observed at each enqueue. Max is the deepest any queue
