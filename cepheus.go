@@ -83,6 +83,13 @@ type Options struct {
 	// are the only cross-LP links, so this is also the conservative
 	// lookahead. Only NewFatTree consults it.
 	CorePropDelay sim.Time
+
+	// Profile enables executor introspection on the partitioned coordinator:
+	// per-worker phase timing, per-LP event loads, and the cross-LP traffic
+	// matrix, read back through Cluster.ExecProfile. Host-side observation
+	// only — simulated results and traces stay byte-identical with the
+	// profiler on or off (DESIGN.md §15). No effect in sequential mode.
+	Profile bool
 }
 
 func (o *Options) fill() {
@@ -168,6 +175,11 @@ func wire(eng *sim.Engine, net *topo.Network, opts Options) *Cluster {
 		} else {
 			net.Partition(c.Par)
 		}
+		if opts.Profile {
+			// Partition/PartitionPods finalized the LP set; the profiler's
+			// per-LP arrays size off it.
+			c.Par.EnableProfile()
+		}
 		c.Eng = nil
 	}
 	for _, h := range net.Hosts {
@@ -215,6 +227,54 @@ func (c *Cluster) Close() {
 
 // Hosts returns the number of hosts in the cluster.
 func (c *Cluster) Hosts() int { return len(c.Net.Hosts) }
+
+// LPLabels names each logical process after the switches it executes: the
+// first switch's name, with "+n" appended when the LP holds more switches
+// (pod-level partitions). Nil in sequential mode.
+func (c *Cluster) LPLabels() []string {
+	if c.Par == nil {
+		return nil
+	}
+	labels := make([]string, c.Par.NumLPs())
+	extra := make([]int, c.Par.NumLPs())
+	for _, sw := range c.Net.Switches {
+		lp := sw.Engine().LP()
+		if lp < 0 || lp >= len(labels) {
+			continue
+		}
+		if labels[lp] == "" {
+			labels[lp] = sw.Name
+		} else {
+			extra[lp]++
+		}
+	}
+	for lp, n := range extra {
+		if n > 0 {
+			labels[lp] = fmt.Sprintf("%s+%d", labels[lp], n)
+		}
+	}
+	return labels
+}
+
+// ExecProfile snapshots the executor-introspection report: per-worker phase
+// breakdown, per-LP load, cross-LP traffic, and the derived scaling
+// diagnosis. Returns nil unless the cluster is partitioned and was built
+// with Options.Profile. Call between runs, not concurrently with one.
+func (c *Cluster) ExecProfile() *obs.ExecReport {
+	if c.Par == nil {
+		return nil
+	}
+	return obs.BuildExecReport(c.Par.ProfileSnapshot(), c.LPLabels())
+}
+
+// ResetExecProfile zeroes the profiler's accumulated counters so a
+// subsequent ExecProfile covers only the runs after the reset — sweeps call
+// it after warmup. A no-op when profiling is off or in sequential mode.
+func (c *Cluster) ResetExecProfile() {
+	if c.Par != nil {
+		c.Par.ResetProfile()
+	}
+}
 
 // NewGroup creates and registers a Cepheus multicast group over the given
 // host indices (members[leader] hosts the controller). It drives the

@@ -62,3 +62,11 @@ else
 		print "parallel speedup OK"
 	}'
 fi
+
+# Profiler-overhead gate: executor introspection (Options.Profile) promises
+# to cost <3% events/s on the partitioned coordinator. profov measures it
+# (median-of-7 interleaved off/on runs, warmed up) and -profover fails the
+# process above the budget. Runs at any CPU count: on a 1-CPU box the
+# coordinator degrades to the inline path, where the merge/exec phase stamps
+# — the profiler's whole per-window cost — are still taken.
+go run ./cmd/cepheus-bench -only profov -profover 0.03

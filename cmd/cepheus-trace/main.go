@@ -18,6 +18,10 @@
 //	    fixed-width per-device lifelines over a time window
 //	cepheus-trace diff [-json] a.jsonl b.jsonl
 //	    census deltas between two runs; exits 1 when they differ (CI gate)
+//	cepheus-trace pdes [-workers N] [-experiment pdes] [-json] prof.json
+//	    render executor profiles written by cepheus-bench -pdesprof:
+//	    per-worker phase breakdown, hottest LPs, heaviest cross-LP edges,
+//	    and the scaling diagnosis
 package main
 
 import (
@@ -136,7 +140,7 @@ func toEvents(ls []line) ([]obs.Event, func(uint32) string) {
 			fatalf("line %d: bad dst address %q", i+1, l.Dst)
 		}
 		evs = append(evs, obs.Event{
-			At: sim.Time(l.T), Seq: uint64(i), Dev: id, Port: int16(l.Port),
+			At: sim.Time(l.T), Seq: uint32(i), Dev: id, Port: int16(l.Port),
 			Kind: k, Reason: r, PT: pt, Src: src, Dst: dstA,
 			SrcQP: l.SQP, DstQP: l.DQP, PSN: l.PSN, Msg: l.Msg, A: l.A, B: l.B,
 		})
@@ -443,6 +447,67 @@ func cmdDiff(args []string) {
 	}
 }
 
+// profEntry mirrors cepheus-bench's -pdesprof output element.
+type profEntry struct {
+	Experiment string          `json:"experiment"`
+	Workers    int             `json:"workers"`
+	Report     *obs.ExecReport `json:"report"`
+}
+
+func cmdPdes(args []string) {
+	fs := flag.NewFlagSet("pdes", flag.ExitOnError)
+	workersF := fs.Int("workers", 0, "only rows with this worker count (0: all)")
+	expF := fs.String("experiment", "", "only rows of this experiment (pdes, scale1024)")
+	jsonF := fs.Bool("json", false, "re-emit the selected reports as JSON instead of text")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cepheus-trace pdes [flags] prof.json")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	buf, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var entries []profEntry
+	if err := json.Unmarshal(buf, &entries); err != nil {
+		fatalf("%s: %v", fs.Arg(0), err)
+	}
+	var keep []profEntry
+	for _, e := range entries {
+		if e.Report == nil {
+			continue
+		}
+		if *workersF > 0 && e.Workers != *workersF {
+			continue
+		}
+		if *expF != "" && e.Experiment != *expF {
+			continue
+		}
+		keep = append(keep, e)
+	}
+	if len(keep) == 0 {
+		fatalf("%s: no executor profiles match the selection (%d entries in file)", fs.Arg(0), len(entries))
+	}
+	if *jsonF {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(keep); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	for i, e := range keep {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("-- %s, workers=%d --\n", e.Experiment, e.Workers)
+		if err := obs.WriteExecReport(os.Stdout, e.Report); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
 func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
@@ -455,12 +520,15 @@ func main() {
 		case "diff":
 			cmdDiff(os.Args[2:])
 			return
+		case "pdes":
+			cmdPdes(os.Args[2:])
+			return
 		}
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cepheus-trace [flags] trace.jsonl")
-		fmt.Fprintln(os.Stderr, "       cepheus-trace spans|timeline|diff -h")
+		fmt.Fprintln(os.Stderr, "       cepheus-trace spans|timeline|diff|pdes -h")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

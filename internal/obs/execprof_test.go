@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// synthStats builds a hand-checkable snapshot: 4 LPs on 2 workers, LP 0 hot
+// enough to trip both the imbalance and hot-LP diagnoses, merge the dominant
+// stall, 90% of windows saturated.
+func synthStats() *sim.ExecStats {
+	st := &sim.ExecStats{
+		Workers:          2,
+		LPs:              4,
+		Lookahead:        500,
+		Runs:             1,
+		RunNs:            2000,
+		Windows:          100,
+		SaturatedWindows: 90,
+		VirtualAdvance:   1_000_000,
+		MaxWindowAdvance: 50_000,
+		Phases: []sim.WorkerPhase{
+			{Worker: 0, LPs: 2, Windows: 100, ExecNs: 800, MergeNs: 100, SpinNs: 50, ParkNs: 50, SeqNs: 20},
+			{Worker: 1, LPs: 2, Windows: 100, ExecNs: 400, MergeNs: 600, SpinNs: 100, ParkNs: 100},
+		},
+		LPWorker:    []int{0, 0, 1, 1},
+		LPWeights:   []float64{10, 1, 2, 3},
+		LPEvents:    []uint64{1000, 100, 200, 300},
+		LPWindows:   []uint64{100, 40, 60, 80},
+		LPMaxWindow: []uint64{30, 5, 8, 12},
+		Traffic:     make([]uint64, 16),
+	}
+	st.Traffic[0*4+1] = 5
+	st.Traffic[2*4+3] = 50
+	st.Traffic[3*4+0] = 10
+	st.CrossMsgs = 65
+	return st
+}
+
+func approx(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+
+func TestBuildExecReportNil(t *testing.T) {
+	if r := BuildExecReport(nil, nil); r != nil {
+		t.Fatalf("BuildExecReport(nil) = %+v, want nil", r)
+	}
+}
+
+func TestBuildExecReportDerived(t *testing.T) {
+	r := BuildExecReport(synthStats(), []string{"edge-a", "edge-b"})
+	if r.TotalEvents != 1600 {
+		t.Fatalf("TotalEvents = %d, want 1600", r.TotalEvents)
+	}
+	if !approx(r.EventsPerWindow, 16) || !approx(r.MsgsPerWindow, 0.65) {
+		t.Fatalf("window shape: %.2f events, %.2f msgs (want 16, 0.65)", r.EventsPerWindow, r.MsgsPerWindow)
+	}
+	if !approx(r.SaturatedPct, 90) || !approx(r.AvgAdvanceNs, 10_000) {
+		t.Fatalf("saturation %.1f%%, avg advance %.0f (want 90, 10000)", r.SaturatedPct, r.AvgAdvanceNs)
+	}
+	// 100 windows over 1ms of virtual advance = 100 barriers per virtual ms.
+	if !approx(r.BarriersPerVirtualMs, 100) {
+		t.Fatalf("BarriersPerVirtualMs = %v, want 100", r.BarriersPerVirtualMs)
+	}
+
+	// Worker 0 owns LPs {0,1}: 1100 events of 1600 -> imbalance 1.375; the
+	// same split on weights (11 of 16).
+	if !approx(r.EventImbalance, 1.375) || !approx(r.WeightImbalance, 1.375) {
+		t.Fatalf("imbalance: events %.3f, weight %.3f (want 1.375 both)", r.EventImbalance, r.WeightImbalance)
+	}
+	if len(r.Workers_) != 2 {
+		t.Fatalf("worker lines = %d, want 2", len(r.Workers_))
+	}
+	w0 := r.Workers_[0]
+	if w0.Events != 1100 || !approx(w0.Weight, 11) {
+		t.Fatalf("worker 0 load: %d events, weight %.0f (want 1100, 11)", w0.Events, w0.Weight)
+	}
+	if !approx(w0.ExecPct, 100*800.0/1020.0) {
+		t.Fatalf("worker 0 exec%% = %.2f, want %.2f", w0.ExecPct, 100*800.0/1020.0)
+	}
+
+	// Phase totals: exec 1200, merge 700, spin 150, park 150, seq 20.
+	// Merge dominates the 1020ns of stall; efficiency = 1200/(2000*2).
+	if r.DominantStall != PhaseMerge || !approx(r.StallPct, 100*700.0/1020.0) {
+		t.Fatalf("stall = %s %.1f%%, want merge %.1f%%", r.DominantStall, r.StallPct, 100*700.0/1020.0)
+	}
+	if !approx(r.ExecEfficiency, 0.3) {
+		t.Fatalf("ExecEfficiency = %.3f, want 0.3", r.ExecEfficiency)
+	}
+
+	// LP loads ranked by events; labels fall back past the given slice.
+	if r.LPLoads[0].LP != 0 || r.LPLoads[0].Label != "edge-a" || r.LPLoads[0].Events != 1000 {
+		t.Fatalf("hottest LP = %+v, want LP 0 edge-a 1000", r.LPLoads[0])
+	}
+	if r.LPLoads[1].LP != 3 || r.LPLoads[1].Label != "lp3" {
+		t.Fatalf("second LP = %+v, want LP 3 lp3", r.LPLoads[1])
+	}
+
+	// Edges ranked by messages, zero cells dropped.
+	if len(r.TopEdges) != 3 {
+		t.Fatalf("edges = %d, want 3 nonzero", len(r.TopEdges))
+	}
+	if e := r.TopEdges[0]; e.Src != 2 || e.Dst != 3 || e.Msgs != 50 {
+		t.Fatalf("heaviest edge = %+v, want 2->3 x50", e)
+	}
+
+	// Diagnosis: merge stall, imbalance (>1.25), hot LP (62.5% > 37.5%),
+	// saturated (>80%), and the efficiency line; not the inline note.
+	joined := strings.Join(r.Diagnosis, "\n")
+	for _, want := range []string{
+		"dominant stall is cross-LP merge",
+		"busiest worker executes 1.38x the mean",
+		"hottest LP edge-a (worker 0) executes 62% of all events",
+		"90% of windows are back-to-back",
+		"exec efficiency 30%",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("diagnosis missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "inline") {
+		t.Fatalf("inline note on a parallel run:\n%s", joined)
+	}
+}
+
+func TestBuildExecReportInlineAndTopK(t *testing.T) {
+	st := synthStats()
+	st.Inline = true
+	// Blow up the LP count to check the top-k cut: 40 LPs, each with a
+	// distinct event count and a nonzero edge to its neighbour.
+	n := 40
+	st.LPs = n
+	st.LPWorker = make([]int, n)
+	st.LPWeights = nil
+	st.LPEvents = make([]uint64, n)
+	st.LPWindows = make([]uint64, n)
+	st.LPMaxWindow = make([]uint64, n)
+	st.Traffic = make([]uint64, n*n)
+	st.CrossMsgs = 0
+	for i := 0; i < n; i++ {
+		st.LPEvents[i] = uint64(1 + i)
+		st.Traffic[i*n+(i+1)%n] = uint64(1 + i)
+		st.CrossMsgs += uint64(1 + i)
+	}
+	r := BuildExecReport(st, nil)
+	if len(r.LPLoads) != 12 || len(r.TopEdges) != 12 {
+		t.Fatalf("top-k cut: %d LP loads, %d edges (want 12, 12)", len(r.LPLoads), len(r.TopEdges))
+	}
+	if r.LPLoads[0].Events != 40 || r.TopEdges[0].Msgs != 40 {
+		t.Fatalf("ranking broken after cut: hottest LP %d events, heaviest edge %d msgs",
+			r.LPLoads[0].Events, r.TopEdges[0].Msgs)
+	}
+	if !strings.Contains(strings.Join(r.Diagnosis, "\n"), "inline single-goroutine path") {
+		t.Fatalf("inline run missing inline note: %v", r.Diagnosis)
+	}
+}
+
+func TestWriteExecReport(t *testing.T) {
+	r := BuildExecReport(synthStats(), []string{"edge-a", "edge-b"})
+	var buf bytes.Buffer
+	if err := WriteExecReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== executor profile: 2 workers, 4 LPs",
+		"per-worker phase breakdown",
+		"hottest LPs:",
+		"heaviest cross-LP edges:",
+		"edge-a",
+		"lp3",
+		"diagnosis:",
+		"dominant stall: merge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

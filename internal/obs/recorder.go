@@ -91,7 +91,7 @@ func (t *Tracer) Dev() uint32 { return t.dev }
 type Recorder struct {
 	shards   []*Shard
 	devNames []string
-	devSeq   []uint64 // next Seq per device, advanced at Barrier drains
+	devSeq   []uint32 // next Seq per device, advanced at Barrier drains
 
 	central []Event
 	chead   int

@@ -74,6 +74,82 @@ func TestSeriesDecimation(t *testing.T) {
 	}
 }
 
+func TestSeriesDecimationExactCapacity(t *testing.T) {
+	// Decimation triggers exactly when the sample count reaches capacity —
+	// one tick earlier the set is still full-resolution.
+	eng := sim.New(1)
+	s := NewSeriesSet(eng, 10, 16)
+	s.Track("now", func() float64 { return float64(eng.Now()) })
+	s.Start()
+	eng.RunUntil(155) // 15 ticks: one short of capacity
+	if s.Samples() != 15 || s.Interval() != 10 {
+		t.Fatalf("at capacity-1: %d samples, interval %d (want 15, 10)", s.Samples(), s.Interval())
+	}
+	eng.RunUntil(165) // the 16th tick fills capacity and decimates
+	if s.Samples() != 8 || s.Interval() != 20 {
+		t.Fatalf("at capacity: %d samples, interval %d (want 8, 20)", s.Samples(), s.Interval())
+	}
+}
+
+func TestSeriesSingleSample(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSeriesSet(eng, 10, 16)
+	s.Track("v", func() float64 { return 7 })
+	s.Start()
+	eng.RunUntil(15) // exactly one tick
+	s.Stop()
+	if s.Samples() != 1 || s.Interval() != 10 {
+		t.Fatalf("%d samples, interval %d (want 1, 10)", s.Samples(), s.Interval())
+	}
+	if vs := s.Values("v"); len(vs) != 1 || vs[0] != 7 {
+		t.Fatalf("values = %v, want [7]", vs)
+	}
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if want := "t_ns,v\n10,7\n"; csv.String() != want {
+		t.Fatalf("csv = %q, want %q", csv.String(), want)
+	}
+}
+
+func TestSeriesRefillAfterDecimation(t *testing.T) {
+	// After the first decimation (8 samples @ interval 20), the set keeps
+	// sampling on the doubled grid, refills to capacity, and decimates
+	// again — interval 40, still the even-indexed survivors of the finer
+	// grid, time axis strictly increasing throughout.
+	eng := sim.New(1)
+	s := NewSeriesSet(eng, 10, 16)
+	s.Track("now", func() float64 { return float64(eng.Now()) })
+	s.Start()
+	eng.RunUntil(165) // first fill: decimate to 8 @ 20
+	if s.Samples() != 8 || s.Interval() != 20 {
+		t.Fatalf("after first decimation: %d samples, interval %d", s.Samples(), s.Interval())
+	}
+	// 8 more ticks at interval 20 (t=180..320) refill to 16 -> decimate.
+	eng.RunUntil(325)
+	if s.Samples() != 8 || s.Interval() != 40 {
+		t.Fatalf("after refill: %d samples, interval %d (want 8, 40)", s.Samples(), s.Interval())
+	}
+	ts := s.Times()
+	// Survivors of two decimations: every 4th original 10ns-grid sample
+	// until the first decimation, then every other 20ns-grid sample.
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("time axis not increasing after refill decimation: %v", ts)
+		}
+	}
+	if ts[0] != 10 || ts[1] != 50 {
+		t.Fatalf("second decimation kept wrong samples: %v", ts)
+	}
+	vs := s.Values("now")
+	for i := range vs {
+		if vs[i] != float64(ts[i]) {
+			t.Fatalf("column desynced from time axis at %d: t=%v v=%v", i, ts[i], vs[i])
+		}
+	}
+}
+
 func TestSeriesExports(t *testing.T) {
 	eng := sim.New(1)
 	s := NewSeriesSet(eng, 10, 0)

@@ -129,6 +129,11 @@ type workerScratch struct {
 	has bool
 	ran bool
 
+	// prof accumulates this worker's wall-clock phase breakdown when
+	// executor profiling is enabled (profile.go). Written only by the
+	// owning worker during windows; read by the coordinator at snapshots.
+	prof phaseNs
+
 	_ [64]byte
 }
 
@@ -138,7 +143,14 @@ type workerScratch struct {
 type workerPark struct {
 	parked atomic.Int32
 	wake   chan struct{}
-	_      [40]byte
+
+	// spinNs/parkNs split this worker's barrier wait when profiling is on
+	// (phaseBarrier.prof): written only by the owning worker inside
+	// awaitGen, harvested by Parallel.absorbBarrierProf with all workers
+	// parked.
+	spinNs uint64
+	parkNs uint64
+	_      [24]byte
 }
 
 // phaseBarrier is a sense-reversing spin-then-park barrier. The coordinator
@@ -159,6 +171,13 @@ type phaseBarrier struct {
 	coordParked atomic.Int32
 	coordWake   chan struct{}
 
+	// prof turns on wall-clock accounting of barrier waits (profile.go):
+	// workers split their awaitGen time into spin and park, the coordinator
+	// its gather time likewise.
+	prof        bool
+	coordSpinNs uint64
+	coordParkNs uint64
+
 	workers []workerPark
 }
 
@@ -176,14 +195,28 @@ func (b *phaseBarrier) release() {
 
 // awaitGen blocks worker w until generation want is released, spinning first
 // and parking only if the release is slow. Returns false when the pool is
-// shutting down.
+// shutting down. With profiling on, the wait is split into its spin and park
+// portions (wall-clock reads happen only while the worker is waiting, so
+// they cannot shift any simulated event).
 func (b *phaseBarrier) awaitGen(w int, want uint64) bool {
+	var t0 int64
+	if b.prof {
+		t0 = profNow()
+	}
 	for i := 0; i < b.spins; i++ {
 		if b.gen.Load() >= want {
+			if b.prof {
+				b.workers[w-1].spinNs += uint64(profNow() - t0)
+			}
 			return !b.quit.Load()
 		}
 	}
 	wp := &b.workers[w-1]
+	var t1 int64
+	if b.prof {
+		t1 = profNow()
+		wp.spinNs += uint64(t1 - t0)
+	}
 	for b.gen.Load() < want {
 		wp.parked.Store(1)
 		if b.gen.Load() >= want {
@@ -195,6 +228,9 @@ func (b *phaseBarrier) awaitGen(w int, want uint64) bool {
 			break
 		}
 		<-wp.wake
+	}
+	if b.prof {
+		wp.parkNs += uint64(profNow() - t1)
 	}
 	return !b.quit.Load()
 }
@@ -209,13 +245,31 @@ func (b *phaseBarrier) arrive() {
 	}
 }
 
-// gather blocks the coordinator until every worker has arrived.
+// gather blocks the coordinator until every worker has arrived. Profiled
+// like awaitGen: the coordinator's wait splits into spin and park.
 func (b *phaseBarrier) gather() {
+	var t0 int64
+	if b.prof {
+		t0 = profNow()
+	}
 	for i := 0; i < b.spins; i++ {
 		if b.arrived.Load() == b.nw {
+			if b.prof {
+				b.coordSpinNs += uint64(profNow() - t0)
+			}
 			return
 		}
 	}
+	var t1 int64
+	if b.prof {
+		t1 = profNow()
+		b.coordSpinNs += uint64(t1 - t0)
+	}
+	defer func() {
+		if b.prof {
+			b.coordParkNs += uint64(profNow() - t1)
+		}
+	}()
 	for b.arrived.Load() < b.nw {
 		b.coordParked.Store(1)
 		if b.arrived.Load() == b.nw {
@@ -291,6 +345,11 @@ type Parallel struct {
 	// bookkeeping that must see a consistent cross-LP snapshot can ride on
 	// it.
 	barrier func()
+
+	// prof, when set, accumulates executor introspection (profile.go):
+	// phase timings, per-LP loads, cross-LP traffic. Host-side only —
+	// never read by simulated state.
+	prof *execProf
 }
 
 // NewParallel creates an empty run. workers is the number of goroutines
@@ -483,6 +542,11 @@ func (p *Parallel) mergeDst(ws *workerScratch, d int, srcs []int32, par int) {
 	for _, si := range srcs {
 		src := p.lps[si]
 		box := src.out[par][d]
+		if pr := p.prof; pr != nil && len(box) > 0 {
+			// Destination d has exactly one merging worker per window, so
+			// its traffic row cells are single-writer.
+			pr.traffic[int(si)*len(p.lps)+d] += uint64(len(box))
+		}
 		for mi := range box {
 			keys = append(keys, drainKey{at: box[mi].at, src: si, idx: int32(mi)})
 			msgs = append(msgs, box[mi])
@@ -528,14 +592,26 @@ func (p *Parallel) mergePhase(w int) {
 }
 
 // runPhase executes one window for each of worker w's LPs and records
-// whether any of them ran an event.
+// whether any of them ran an event. With profiling on it also attributes the
+// executed-event delta to the LP — the raw material of the load-imbalance
+// report (each LP's cells are written only by its owning worker).
 func (p *Parallel) runPhase(w int, end Time) {
 	ran := false
+	pr := p.prof
 	for _, lp := range p.plan[w] {
 		e := p.lps[lp]
 		n0 := e.nRun
 		e.runWindow(end)
-		ran = ran || e.nRun != n0
+		if d := e.nRun - n0; d != 0 {
+			ran = true
+			if pr != nil {
+				pr.lpEvents[lp] += d
+				pr.lpWindows[lp]++
+				if d > pr.lpMaxWindow[lp] {
+					pr.lpMaxWindow[lp] = d
+				}
+			}
+		}
 	}
 	p.wstate[w].ran = ran
 }
@@ -562,11 +638,28 @@ func (p *Parallel) minPhase(w int) {
 }
 
 // phase is one worker's whole window: merge inbound traffic, execute, report.
+// With profiling on, the merge+inject and execute+report segments are timed
+// (two extra monotonic clock reads per worker-window; simulated state never
+// sees them).
 func (p *Parallel) phase(w int) {
 	end := p.phaseEnd
+	pr := p.prof
+	if pr == nil {
+		p.mergePhase(w)
+		p.runPhase(w, end)
+		p.minPhase(w)
+		return
+	}
+	t0 := profNow()
 	p.mergePhase(w)
+	t1 := profNow()
 	p.runPhase(w, end)
 	p.minPhase(w)
+	t2 := profNow()
+	ws := &p.wstate[w]
+	ws.prof.MergeNs += uint64(t1 - t0)
+	ws.prof.ExecNs += uint64(t2 - t1)
+	ws.prof.Windows++
 }
 
 // scanMin is the full next-event scan, used only on the first window of a
@@ -656,6 +749,7 @@ func (p *Parallel) startWorkers() {
 		spins:     barrierSpins(n),
 		coordWake: make(chan struct{}, 1),
 		workers:   make([]workerPark, n-1),
+		prof:      p.prof != nil,
 	}
 	for i := range b.workers {
 		b.workers[i].wake = make(chan struct{}, 1)
@@ -695,6 +789,7 @@ func (p *Parallel) Close() {
 	p.bar.quit.Store(true)
 	p.bar.release()
 	p.wg.Wait()
+	p.absorbBarrierProf() // keep barrier wait accounting across pool restarts
 	p.bar = nil
 }
 
@@ -721,19 +816,39 @@ func (p *Parallel) run(limit Time, pred func() bool, serial bool) Outcome {
 	if !p.finalized {
 		panic("sim: Run before Finalize")
 	}
+	pr := p.prof
+	if pr == nil {
+		return p.runLoop(limit, pred, serial)
+	}
+	t0 := profNow()
+	out := p.runLoop(limit, pred, serial)
+	pr.runNs += uint64(profNow() - t0)
+	pr.runs++
+	return out
+}
+
+func (p *Parallel) runLoop(limit Time, pred func() bool, serial bool) Outcome {
 	p.ensurePlan()
 	p.drainAll() // absorb any remote scheduling done between runs
 	// Concurrency can only cost on one CPU, so a multi-worker run degrades
 	// to the (result-identical) inline schedule there.
 	inline := serial || p.workers == 1 || runtime.GOMAXPROCS(0) == 1
+	pr := p.prof
+	if pr != nil {
+		pr.inline = inline
+	}
 	first := true
 	for {
 		// Barrier-sequential section: all workers parked.
+		var tSeq int64
+		if pr != nil {
+			tSeq = profNow()
+		}
 		var m Time
 		var ok, changed bool
 		if first {
 			m, ok = p.scanMin()
-			changed, first = true, false
+			changed = true
 		} else {
 			m, ok, changed = p.gatherMin()
 		}
@@ -754,10 +869,31 @@ func (p *Parallel) run(limit Time, pred func() bool, serial bool) Outcome {
 			p.drainAll()
 			return Horizon
 		}
+		if pr != nil {
+			pr.windows++
+			if !first {
+				// Virtual advance between consecutive window starts: the
+				// lookahead-slack signal. An advance at (or under) the
+				// lookahead means back-to-back windows — barrier cadence at
+				// its maximum; larger advances are idle skips.
+				adv := m - p.floor
+				pr.advSum += adv
+				if adv > pr.advMax {
+					pr.advMax = adv
+				}
+				if adv <= p.lookahead {
+					pr.satWindows++
+				}
+			}
+		}
+		first = false
 		p.floor = m
 		p.phaseEnd = p.windowEnd(m, limit)
 		p.transpose(p.wp)
 		p.wp ^= 1
+		if pr != nil {
+			pr.seqNs += uint64(profNow() - tSeq)
+		}
 		if inline {
 			for w := range p.plan {
 				p.phase(w)

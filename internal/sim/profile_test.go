@@ -1,0 +1,178 @@
+package sim
+
+import "testing"
+
+func TestEnableProfileBeforeFinalizePanics(t *testing.T) {
+	p := NewParallel(1, 2)
+	defer p.Close()
+	p.AddLP()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableProfile before Finalize must panic")
+		}
+	}()
+	p.EnableProfile()
+}
+
+func TestProfileSnapshotNilWhenOff(t *testing.T) {
+	p := NewParallel(1, 2)
+	defer p.Close()
+	p.AddLP()
+	p.Finalize(100)
+	if p.ProfileEnabled() {
+		t.Fatal("profiling enabled without EnableProfile")
+	}
+	if st := p.ProfileSnapshot(); st != nil {
+		t.Fatalf("ProfileSnapshot without EnableProfile = %+v, want nil", st)
+	}
+	p.ResetProfile() // must be a harmless no-op when off
+}
+
+// TestProfileCounters checks the raw counters against a workload whose shape
+// is known exactly: a 10-hop ping-pong between two LPs produces 10 executed
+// events, 9 of them delivered cross-LP (the first is scheduled locally), and
+// one Run invocation. Spin/park are not asserted — on a single-CPU host the
+// executor degrades to the inline path where barrier waits never happen.
+func TestProfileCounters(t *testing.T) {
+	const lookahead = Time(100)
+	p := NewParallel(1, 2)
+	defer p.Close()
+	a := p.AddLP()
+	p.AddLP()
+	p.Finalize(lookahead)
+	p.EnableProfile()
+	p.EnableProfile() // idempotent
+
+	pp := &pingPonger{par: p, delay: lookahead, limit: 10}
+	a.ScheduleHandler(0, pp, nil)
+	if out := p.Run(Time(1_000_000), nil); out != Quiescent {
+		t.Fatalf("outcome = %v, want Quiescent", out)
+	}
+
+	st := p.ProfileSnapshot()
+	if st == nil {
+		t.Fatal("ProfileSnapshot = nil with profiling on")
+	}
+	if st.Workers != 2 || st.LPs != 2 || st.Lookahead != lookahead {
+		t.Fatalf("shape = %d workers, %d LPs, lookahead %v", st.Workers, st.LPs, st.Lookahead)
+	}
+	if st.Runs != 1 {
+		t.Fatalf("Runs = %d, want 1", st.Runs)
+	}
+	if st.Windows == 0 || st.RunNs == 0 {
+		t.Fatalf("no windows or wall-clock recorded: windows=%d run_ns=%d", st.Windows, st.RunNs)
+	}
+	var lpSum uint64
+	for _, n := range st.LPEvents {
+		lpSum += n
+	}
+	if lpSum != p.EventsRun() || lpSum != 10 {
+		t.Fatalf("sum(LPEvents) = %d, want EventsRun = %d = 10", lpSum, p.EventsRun())
+	}
+	// 9 hops cross LP boundaries, alternating 0->1 and 1->0.
+	if st.CrossMsgs != 9 {
+		t.Fatalf("CrossMsgs = %d, want 9", st.CrossMsgs)
+	}
+	if got := st.Traffic[0*2+1] + st.Traffic[1*2+0]; got != 9 || st.Traffic[0] != 0 || st.Traffic[3] != 0 {
+		t.Fatalf("traffic matrix = %v, want 9 split across the two off-diagonal cells", st.Traffic)
+	}
+	if len(st.Phases) != 2 || len(st.LPWorker) != 2 {
+		t.Fatalf("phases/LPWorker sized %d/%d, want 2/2", len(st.Phases), len(st.LPWorker))
+	}
+	var exec uint64
+	for _, ph := range st.Phases {
+		exec += ph.ExecNs
+	}
+	if exec == 0 {
+		t.Fatal("no exec-phase wall-clock accumulated")
+	}
+	// The snapshot must not alias live state: mutating it is invisible.
+	st.LPEvents[0] = 999
+	if p.ProfileSnapshot().LPEvents[0] == 999 {
+		t.Fatal("ProfileSnapshot aliases live profiler slices")
+	}
+}
+
+func TestResetProfile(t *testing.T) {
+	p := NewParallel(1, 2)
+	defer p.Close()
+	a := p.AddLP()
+	p.AddLP()
+	p.Finalize(100)
+	p.EnableProfile()
+
+	pp := &pingPonger{par: p, delay: 100, limit: 6}
+	a.ScheduleHandler(0, pp, nil)
+	p.Run(Time(1_000_000), nil)
+	if st := p.ProfileSnapshot(); st.Windows == 0 {
+		t.Fatal("warmup run recorded nothing")
+	}
+	p.ResetProfile()
+	st := p.ProfileSnapshot()
+	if st.Windows != 0 || st.Runs != 0 || st.RunNs != 0 || st.CrossMsgs != 0 {
+		t.Fatalf("counters survived ResetProfile: %+v", st)
+	}
+	for i, n := range st.LPEvents {
+		if n != 0 {
+			t.Fatalf("LPEvents[%d] = %d after reset", i, n)
+		}
+	}
+	for _, ph := range st.Phases {
+		if ph.ExecNs != 0 || ph.MergeNs != 0 || ph.SpinNs != 0 || ph.ParkNs != 0 {
+			t.Fatalf("worker phase survived reset: %+v", ph)
+		}
+	}
+}
+
+// runChurnProf mirrors runChurn with profiling enabled when prof is set.
+func runChurnProf(t *testing.T, seed int64, nLP, workers int, prof bool) (uint64, uint64, Time) {
+	t.Helper()
+	p := NewParallel(seed, max(workers, 1))
+	defer p.Close()
+	for i := 0; i < nLP; i++ {
+		p.AddLP()
+	}
+	p.Finalize(200)
+	if prof {
+		p.EnableProfile()
+	}
+	c := &churn{par: p, delay: 200, digest: make([]uint64, nLP), nLeft: make([]int, nLP)}
+	for i := 0; i < nLP; i++ {
+		c.nLeft[i] = 400
+		for j := 0; j < 4; j++ {
+			p.LP(i).ScheduleHandler(Time(j), c, nil)
+		}
+	}
+	var out Outcome
+	if workers == 0 {
+		out = p.RunSerial(Time(1)<<40, nil)
+	} else {
+		out = p.Run(Time(1)<<40, nil)
+	}
+	if out != Quiescent {
+		t.Fatalf("outcome = %v, want Quiescent", out)
+	}
+	var d uint64
+	for _, v := range c.digest {
+		d = d*0x9E3779B97F4A7C15 + v
+	}
+	return d, p.EventsRun(), p.Now()
+}
+
+// TestProfileDigestInvariance is the sim-layer digest-neutrality gate: the
+// randomized churn workload must produce an identical digest, event count,
+// and final clock with profiling on as the unprofiled serial reference, at
+// every worker count. Wall-clock reads live only in executor host code, so
+// this holds by construction; the test keeps it that way.
+func TestProfileDigestInvariance(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		refD, refN, refT := runChurnProf(t, seed, 8, 0, false)
+		for _, w := range []int{0, 1, 2, 4, 8} {
+			d, n, tm := runChurnProf(t, seed, 8, w, true)
+			if d != refD || n != refN || tm != refT {
+				t.Fatalf("seed %d workers %d profiled: (digest %x, events %d, now %v) != reference (%x, %d, %v)",
+					seed, w, d, n, tm, refD, refN, refT)
+			}
+		}
+	}
+}
