@@ -133,6 +133,10 @@ type Cluster struct {
 	Rec    *obs.Recorder
 	Aud    *obs.Auditor
 	Series *obs.SeriesSet
+	// GS holds the per-group attribution registry, nil until
+	// EnableGroupStats (the disabled hot-path cost is one nil check per
+	// device, like the flight recorder).
+	GS *obs.GroupStats
 }
 
 // NewTestbed builds the paper's §IV configuration: n servers under one

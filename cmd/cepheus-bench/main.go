@@ -50,6 +50,16 @@ var (
 	seriesOut  = flag.String("series", "", "fig14: sample per-flow DCQCN rates and queue depths, write the time series (CSV) here")
 	pdesProf   = flag.String("pdesprof", "", "pdes/scale1024: profile the parallel executor per worker row and write the reports (JSON, cepheus-trace pdes renders them) here")
 	profOver   = flag.Float64("profover", 0, "profov: exit nonzero if executor profiling costs more than this fraction of events/s (e.g. 0.03)")
+	groupsOn   = flag.Bool("groups", false, "enable per-group attribution; print the group table after each broadcast")
+	sloSpec    = flag.String("slo", "", "with -groups (implied): per-group SLO, p99=<dur>,goodput=<bytes/s>,drops=<frac>[,window=<dur>]; breaches fail the run")
+	gsOver     = flag.Float64("gsover", 0, "gsov: exit nonzero if group attribution costs more than this fraction of events/s (e.g. 0.03)")
+)
+
+// -slo parsed once at startup; sloSet gates the evaluation paths.
+var (
+	sloObj obs.SLOObjective
+	sloWin obs.SLOWindows
+	sloSet bool
 )
 
 // benchRecord is one broadcast's machine-readable result, written by -json so
@@ -81,6 +91,23 @@ type benchRecord struct {
 	ExecPct    float64 `json:"exec_pct,omitempty"`
 	StallPhase string  `json:"stall_phase,omitempty"`
 	StallPct   float64 `json:"stall_pct,omitempty"`
+
+	// Host provenance, stamped on the leading {"experiment":"meta"} record
+	// so a BENCH_*.json trajectory records what machine produced each point.
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	NumCPU     int    `json:"num_cpu,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+
+	// Fairness columns (fairness experiment): the sweep-point summary row
+	// carries the cross-group indices; per-group rows carry each group's own
+	// goodput and delivery p99 (in P99LatencyNs). GroupID is a pointer so
+	// group 0 survives omitempty.
+	Groups          int     `json:"groups,omitempty"`
+	JainIndex       float64 `json:"jain_index,omitempty"`
+	MaxMinRatio     float64 `json:"maxmin_ratio,omitempty"`
+	P99IsolationGap float64 `json:"p99_isolation_gap,omitempty"`
+	GroupID         *int    `json:"group_id,omitempty"`
+	GoodputBytes    int64   `json:"goodput_bytes,omitempty"`
 }
 
 var (
@@ -99,7 +126,7 @@ type pdesProfEntry struct {
 var profEntries []pdesProfEntry
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiments to run: fig1d|fig7b|fig8|fig9|rdmc|table1|fig10|fig11|hpl-large|fig12|fig13|fig14|safeguard|reduce|pstrain|pdes|scale1024|traceov|profov")
+	only := flag.String("only", "", "comma-separated experiments to run: fig1d|fig7b|fig8|fig9|rdmc|table1|fig10|fig11|hpl-large|fig12|fig13|fig14|safeguard|reduce|pstrain|pdes|scale1024|fairness|traceov|profov|gsov")
 	flag.Parse()
 	os.Exit(run(*only))
 }
@@ -110,6 +137,15 @@ var exitCode int
 
 // run holds main's body so deferred profile writers fire before os.Exit.
 func run(only string) int {
+	if *sloSpec != "" {
+		var err error
+		if sloObj, sloWin, err = obs.ParseSLO(*sloSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "-slo: %v\n", err)
+			return 2
+		}
+		sloSet = true
+		*groupsOn = true // an SLO is meaningless without attribution
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -149,7 +185,8 @@ func run(only string) int {
 		{"hpl-large", hplLarge}, {"fig12", fig12}, {"fig13", fig13},
 		{"fig14", fig14}, {"safeguard", safeguard},
 		{"reduce", reduceExt}, {"pstrain", psTrain}, {"pdes", pdes},
-		{"scale1024", scale1024}, {"traceov", traceov}, {"profov", profov},
+		{"scale1024", scale1024}, {"fairness", fairness},
+		{"traceov", traceov}, {"profov", profov}, {"gsov", gsov},
 	}
 	want := map[string]bool{}
 	for _, n := range strings.Split(only, ",") {
@@ -163,7 +200,7 @@ func run(only string) int {
 		if selective && !want[e.name] {
 			continue
 		}
-		if (e.name == "traceov" || e.name == "profov") && !selective {
+		if (e.name == "traceov" || e.name == "profov" || e.name == "gsov") && !selective {
 			continue // overhead gates only run when asked for
 		}
 		curExp = e.name
@@ -182,6 +219,16 @@ func run(only string) int {
 	}
 	if *benchName != "" {
 		paths = append(paths, "BENCH_"+*benchName+".json")
+	}
+	if len(paths) > 0 {
+		// Lead the trajectory with host provenance: perf numbers are only
+		// comparable against points from a known machine shape.
+		records = append([]benchRecord{{
+			Experiment: "meta", Case: "host",
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+		}}, records...)
 	}
 	for _, path := range paths {
 		buf, err := json.MarshalIndent(records, "", "  ")
@@ -222,6 +269,41 @@ func auditVerdict(c *cepheus.Cluster, label string) {
 	}
 }
 
+// enableGroups turns per-group attribution on when -groups (or -slo) asks
+// for it, declaring the -slo objective before any traffic so the
+// delivery-latency threshold latches on every group's first packet.
+func enableGroups(c *cepheus.Cluster) {
+	if !*groupsOn {
+		return
+	}
+	gs := c.EnableGroupStats(0)
+	if sloSet {
+		gs.SetDefaultObjective(sloObj)
+	}
+}
+
+// groupVerdict prints the per-group attribution table — and, with -slo, the
+// burn-rate report — after an experiment that ran with -groups. Any SLO
+// breach fails the run.
+func groupVerdict(c *cepheus.Cluster, label string) {
+	if !*groupsOn {
+		return
+	}
+	reps := c.GroupReports()
+	if len(reps) == 0 {
+		return
+	}
+	fmt.Printf("== groups: %s ==\n", label)
+	obs.WriteGroupTable(os.Stdout, reps)
+	if sloSet {
+		res := obs.EvalSLOs(reps, c.GroupStats().ObjectiveFor, sloWin)
+		if obs.WriteSLOReport(os.Stdout, res) > 0 {
+			fmt.Fprintf(os.Stderr, "%s: SLO %s breached\n", label, sloObj)
+			exitCode = 1
+		}
+	}
+}
+
 // bcastReps is how many timed repetitions runBcast takes per record, keeping
 // the best events/s. Simulated results are deterministic — every repetition
 // completes in the same JCT (event counts can differ by a handful of
@@ -242,6 +324,7 @@ func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label st
 	if *auditOn {
 		c.EnableAudit()
 	}
+	enableGroups(c)
 	var rec benchRecord
 	for rep := 0; rep < bcastReps; rep++ {
 		var m0, m1 runtime.MemStats
@@ -282,6 +365,7 @@ func runBcast(c *cepheus.Cluster, b amcast.Broadcaster, root, size int, label st
 		}
 	}
 	auditVerdict(c, label)
+	groupVerdict(c, label)
 	return float64(rec.JCTNs)
 }
 
@@ -499,6 +583,7 @@ func fig14() {
 	if *auditOn {
 		c.EnableAudit()
 	}
+	enableGroups(c)
 	members := make([]int, 16)
 	for i := range members {
 		members[i] = i
@@ -591,6 +676,7 @@ func fig14() {
 		}
 	}
 	auditVerdict(c, "fig14")
+	groupVerdict(c, "fig14")
 }
 
 func reduceExt() {
@@ -922,6 +1008,173 @@ func profov() {
 	if *profOver > 0 && overhead > *profOver {
 		fmt.Fprintf(os.Stderr, "profov: profiling overhead %.1f%% exceeds the %.0f%% budget\n",
 			100*overhead, 100**profOver)
+		exitCode = 1
+	}
+}
+
+// fairness runs G concurrent multicast groups over a shared k=8 fat-tree
+// (128 hosts) and reports how evenly the fabric splits it: Jain's index and
+// the max/min ratio over per-group delivered bytes, and the p99 isolation
+// gap (worst group p99 / fleet p99). Group g's members are hosts
+// (g + i*16) mod 128 — every group's receivers are spread across all pods,
+// so the streams contend on the same core links instead of partitioning the
+// tree. Each root streams 128KB messages back to back under DCQCN for a
+// fixed 10ms window. One summary record per sweep point carries jain_index /
+// maxmin_ratio / p99_isolation_gap; one record per group carries its goodput
+// bytes and delivery p99.
+func fairness() {
+	t := exp.NewTable("Fairness: concurrent groups on a shared k=8 fat-tree (10ms window, DCQCN)",
+		"groups", "jain", "max/min", "fleet p99", "worst p99", "isolation gap")
+	for _, G := range []int{8, 16, 32} {
+		f := fairnessOne(G)
+		t.Add(fmt.Sprint(G),
+			fmt.Sprintf("%.4f", f.JainIndex), fmt.Sprintf("%.2fx", f.MaxMinRatio),
+			sim.Time(f.FleetP99).String(), sim.Time(f.WorstP99).String(),
+			fmt.Sprintf("%.2fx", f.P99IsolationGap))
+	}
+	fmt.Print(t)
+}
+
+func fairnessOne(G int) obs.FairnessReport {
+	core.ResetMcstIDs()
+	tr := roce.DefaultConfig()
+	tr.DCQCN = true
+	c := cepheus.NewFatTree(8, cepheus.Options{Transport: &tr})
+	defer c.Close()
+	gs := c.EnableGroupStats(0)
+	if sloSet {
+		gs.SetDefaultObjective(sloObj)
+	}
+	const membersPer = 8
+	hosts := c.Hosts()
+	stride := hosts / membersPer
+	stops := make([]bool, G)
+	for g := 0; g < G; g++ {
+		members := make([]int, membersPer)
+		for i := range members {
+			members[i] = (g + i*stride) % hosts
+		}
+		grp, err := c.NewGroup(members, 0)
+		if err != nil {
+			panic(err)
+		}
+		for _, m := range grp.Members[1:] {
+			m.QP.OnMessage = func(roce.Message) {}
+		}
+		qp, stop := grp.Members[0].QP, &stops[g]
+		var post func()
+		post = func() {
+			if !*stop {
+				qp.PostSend(128<<10, post)
+			}
+		}
+		post()
+	}
+	const window = 10 * sim.Millisecond
+	c.Eng.RunUntil(window)
+	for g := range stops {
+		stops[g] = true
+	}
+	// Drain in-flight messages so the last word on every group is a complete
+	// delivery, not a truncated one.
+	c.Eng.RunUntil(window + 5*sim.Millisecond)
+
+	reps := c.GroupReports()
+	f := obs.Fairness(reps)
+	fmt.Printf("== %d concurrent groups ==\n", G)
+	obs.WriteGroupTable(os.Stdout, reps)
+	for i := range reps {
+		r := &reps[i]
+		id := int(r.ID())
+		records = append(records, benchRecord{
+			Experiment: curExp, Case: fmt.Sprintf("G=%d/g%d", G, id),
+			GroupID: &id, GoodputBytes: r.DeliveredBytes, P99LatencyNs: r.Latency.P99,
+		})
+	}
+	records = append(records, benchRecord{
+		Experiment: curExp, Case: fmt.Sprintf("G=%d", G),
+		Groups: G, JainIndex: f.JainIndex, MaxMinRatio: f.MaxMinRatio,
+		P99IsolationGap: f.P99IsolationGap,
+	})
+	if sloSet {
+		res := obs.EvalSLOs(reps, gs.ObjectiveFor, sloWin)
+		if obs.WriteSLOReport(os.Stdout, res) > 0 {
+			fmt.Fprintf(os.Stderr, "fairness/G=%d: SLO %s breached\n", G, sloObj)
+			exitCode = 1
+		}
+	}
+	return f
+}
+
+// gsov measures group attribution's events/s cost on the pdes workload (1MB
+// Cepheus multicast to 65 members, k=8 fat-tree, DCQCN, sequential engine):
+// median paired overhead across 9 interleaved off/on iterations, same
+// methodology as traceov (warmed up, GC outside the timed region, per-pair
+// ratios). This is the worst case for attribution — every delivered packet
+// books into a group cell — and -gsover turns it into the <3% perfsmoke gate.
+func gsov() {
+	groupsSeen := -1
+	once := func(attributed bool) float64 {
+		core.ResetMcstIDs()
+		tr := roce.DefaultConfig()
+		tr.DCQCN = true
+		c := cepheus.NewFatTree(8, cepheus.Options{Transport: &tr})
+		defer c.Close()
+		if attributed {
+			c.EnableGroupStats(0)
+		}
+		nodes := make([]int, 65)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		b, err := c.Broadcaster(cepheus.SchemeCepheus, nodes, 65)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := c.RunBcastErr(b, 0, 1<<20); err != nil {
+			fmt.Fprintf(os.Stderr, "gsov: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		ev0 := c.EventsRun()
+		// Time three broadcasts: attribution's cost is a few percent at most,
+		// and a single ~20ms timed region has more scheduler jitter than that.
+		t0 := time.Now()
+		for rep := 0; rep < 3; rep++ {
+			if _, err := c.RunBcastErr(b, 0, 1<<20); err != nil {
+				fmt.Fprintf(os.Stderr, "gsov: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		wall := time.Since(t0)
+		if attributed {
+			groupsSeen = len(c.GroupReports())
+		}
+		return float64(c.EventsRun()-ev0) / wall.Seconds()
+	}
+	var offs, ons, overs []float64
+	for i := 0; i < 9; i++ {
+		off, on := once(false), once(true)
+		offs, ons = append(offs, off), append(ons, on)
+		overs = append(overs, 1-on/off)
+	}
+	off, on := median(offs), median(ons)
+	overhead := median(overs)
+	if groupsSeen != 1 {
+		fmt.Fprintf(os.Stderr, "gsov: attributed run saw %d groups, want 1 — overhead measured nothing\n", groupsSeen)
+		os.Exit(1)
+	}
+	t := exp.NewTable("Group-attribution overhead: pdes workload, off vs on (median of 9, interleaved)",
+		"attribution", "events/s(M)", "overhead")
+	t.Add("off", fmt.Sprintf("%.2f", off/1e6), "-")
+	t.Add("on", fmt.Sprintf("%.2f", on/1e6), fmt.Sprintf("%.1f%%", 100*overhead))
+	fmt.Print(t)
+	records = append(records,
+		benchRecord{Experiment: "gsov", Case: "off", EventsPerSec: off},
+		benchRecord{Experiment: "gsov", Case: "on", EventsPerSec: on, OverheadPct: 100 * overhead})
+	if *gsOver > 0 && overhead > *gsOver {
+		fmt.Fprintf(os.Stderr, "gsov: group attribution overhead %.1f%% exceeds the %.0f%% budget\n",
+			100*overhead, 100**gsOver)
 		exitCode = 1
 	}
 }

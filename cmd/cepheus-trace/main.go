@@ -22,6 +22,14 @@
 //	    render executor profiles written by cepheus-bench -pdesprof:
 //	    per-worker phase breakdown, hottest LPs, heaviest cross-LP edges,
 //	    and the scaling diagnosis
+//	cepheus-trace groups [-json] [-slo spec] [-series] trace.jsonl
+//	    per-multicast-group attribution rebuilt from the trace: delivered/
+//	    dropped/retransmitted bytes, latency percentiles, fairness report
+//	    (Jain's index, p99 isolation gap), optional SLO evaluation with a
+//	    breach timeline (breaches exit 1, for CI gates)
+//
+// Empty, truncated, or corrupt input exits 2 with a one-line diagnosis on
+// stderr — never an empty report.
 package main
 
 import (
@@ -74,10 +82,18 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
+// fatal2 diagnoses unusable input (empty, truncated, corrupt) in one line
+// and exits 2 — the contract every subcommand shares, so a pipeline that
+// fed us garbage can tell "bad input" (2) apart from "real difference" (1).
+func fatal2(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cepheus-trace: "+format+"\n", args...)
+	os.Exit(2)
+}
+
 func load(path string) []line {
 	f, err := os.Open(path)
 	if err != nil {
-		fatalf("%v", err)
+		fatal2("%v", err)
 	}
 	defer f.Close()
 	var out []line
@@ -91,12 +107,15 @@ func load(path string) []line {
 		}
 		var l line
 		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
-			fatalf("%s:%d: %v", path, n, err)
+			fatal2("%s:%d: truncated or corrupt trace: %v", path, n, err)
 		}
 		out = append(out, l)
 	}
 	if err := sc.Err(); err != nil {
-		fatalf("%s: %v", path, err)
+		fatal2("%s: truncated trace: %v", path, err)
+	}
+	if len(out) == 0 {
+		fatal2("%s: empty trace (no events)", path)
 	}
 	return out
 }
@@ -119,25 +138,25 @@ func toEvents(ls []line) ([]obs.Event, func(uint32) string) {
 		}
 		k, ok := obs.KindByName(l.Kind)
 		if !ok {
-			fatalf("line %d: unknown kind %q", i+1, l.Kind)
+			fatal2("line %d: corrupt trace: unknown kind %q", i+1, l.Kind)
 		}
 		r := obs.RNone
 		if l.Reason != "" {
 			if r, ok = obs.ReasonByName(l.Reason); !ok {
-				fatalf("line %d: unknown reason %q", i+1, l.Reason)
+				fatal2("line %d: corrupt trace: unknown reason %q", i+1, l.Reason)
 			}
 		}
 		pt, ok := obs.PktTypeByName(l.PT)
 		if !ok {
-			fatalf("line %d: unknown packet type %q", i+1, l.PT)
+			fatal2("line %d: corrupt trace: unknown packet type %q", i+1, l.PT)
 		}
 		src, ok := obs.ParseAddr(l.Src)
 		if !ok {
-			fatalf("line %d: bad src address %q", i+1, l.Src)
+			fatal2("line %d: corrupt trace: bad src address %q", i+1, l.Src)
 		}
 		dstA, ok := obs.ParseAddr(l.Dst)
 		if !ok {
-			fatalf("line %d: bad dst address %q", i+1, l.Dst)
+			fatal2("line %d: corrupt trace: bad dst address %q", i+1, l.Dst)
 		}
 		evs = append(evs, obs.Event{
 			At: sim.Time(l.T), Seq: uint32(i), Dev: id, Port: int16(l.Port),
@@ -373,8 +392,7 @@ func cmdSpans(args []string) {
 	evs = filterEvents(evs, msg, groupAddr, sim.Time(*fromF), sim.Time(*toF))
 	spans := obs.BuildSpans(evs)
 	if len(spans) == 0 {
-		fmt.Fprintln(os.Stderr, "cepheus-trace: no spans (trace has no message-tagged events in the selection)")
-		os.Exit(1)
+		fatal2("no spans (trace has no message-tagged events in the selection)")
 	}
 	if err := obs.WriteSpans(os.Stdout, spans, names); err != nil {
 		fatalf("%v", err)
@@ -467,11 +485,14 @@ func cmdPdes(args []string) {
 	}
 	buf, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatalf("%v", err)
+		fatal2("%v", err)
+	}
+	if len(buf) == 0 {
+		fatal2("%s: empty profile file", fs.Arg(0))
 	}
 	var entries []profEntry
 	if err := json.Unmarshal(buf, &entries); err != nil {
-		fatalf("%s: %v", fs.Arg(0), err)
+		fatal2("%s: truncated or corrupt profile: %v", fs.Arg(0), err)
 	}
 	var keep []profEntry
 	for _, e := range entries {
@@ -487,7 +508,7 @@ func cmdPdes(args []string) {
 		keep = append(keep, e)
 	}
 	if len(keep) == 0 {
-		fatalf("%s: no executor profiles match the selection (%d entries in file)", fs.Arg(0), len(entries))
+		fatal2("%s: no executor profiles match the selection (%d entries in file)", fs.Arg(0), len(entries))
 	}
 	if *jsonF {
 		enc := json.NewEncoder(os.Stdout)
@@ -508,6 +529,76 @@ func cmdPdes(args []string) {
 	}
 }
 
+// cmdGroups rebuilds per-group attribution from the trace: the offline
+// twin of Cluster.EnableGroupStats, so any existing JSONL export can answer
+// "who got what" and "did anyone breach" after the fact.
+func cmdGroups(args []string) {
+	fs := flag.NewFlagSet("groups", flag.ExitOnError)
+	jsonF := fs.Bool("json", false, "emit reports + fairness (+ SLO results) as JSON")
+	bucketF := fs.Duration("bucket", 0, "goodput time-series bucket (0: 100us)")
+	sloF := fs.String("slo", "", "evaluate objectives against every group: p99=<dur>,goodput=<B/s>,drops=<frac>[,window=<dur>]")
+	seriesF := fs.Bool("series", false, "append each group's goodput time-series to the text output")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cepheus-trace groups [flags] trace.jsonl")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	var obj obs.SLOObjective
+	var win obs.SLOWindows
+	var objFor func(uint32) (obs.SLOObjective, bool)
+	if *sloF != "" {
+		var err error
+		if obj, win, err = obs.ParseSLO(*sloF); err != nil {
+			fatalf("%v", err)
+		}
+		objFor = func(uint32) (obs.SLOObjective, bool) { return obj, true }
+	}
+	evs, _ := toEvents(load(fs.Arg(0)))
+	reps := obs.GroupReportsFromEvents(evs, sim.Time(*bucketF), objFor)
+	if len(reps) == 0 {
+		fatal2("%s: no multicast group traffic in trace (%d events)", fs.Arg(0), len(evs))
+	}
+	var results []obs.SLOResult
+	if objFor != nil {
+		results = obs.EvalSLOs(reps, objFor, win)
+	}
+	breached := 0
+	if *jsonF {
+		for i := range results {
+			if results[i].Breached() {
+				breached++
+			}
+		}
+		out := struct {
+			Groups   []obs.GroupReport  `json:"groups"`
+			Fairness obs.FairnessReport `json:"fairness"`
+			SLO      []obs.SLOResult    `json:"slo,omitempty"`
+		}{reps, obs.Fairness(reps), results}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		obs.WriteGroupTable(os.Stdout, reps)
+		if *seriesF {
+			for i := range reps {
+				r := &reps[i]
+				fmt.Printf("series g%d (bucket %v):\n", r.ID(), r.Bucket)
+				for _, p := range r.Series {
+					fmt.Printf("  %-12v bytes=%d msgs=%d slow=%d drops=%d retx=%d\n",
+						p.Start, p.Bytes, p.Msgs, p.Slow, p.Drops, p.Retrans)
+				}
+			}
+		}
+		breached = obs.WriteSLOReport(os.Stdout, results)
+	}
+	if breached > 0 {
+		os.Exit(1)
+	}
+}
+
 func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
@@ -523,12 +614,15 @@ func main() {
 		case "pdes":
 			cmdPdes(os.Args[2:])
 			return
+		case "groups":
+			cmdGroups(os.Args[2:])
+			return
 		}
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cepheus-trace [flags] trace.jsonl")
-		fmt.Fprintln(os.Stderr, "       cepheus-trace spans|timeline|diff|pdes -h")
+		fmt.Fprintln(os.Stderr, "       cepheus-trace spans|timeline|diff|pdes|groups -h")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

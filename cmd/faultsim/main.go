@@ -23,6 +23,7 @@ import (
 
 	cepheus "repro"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/roce"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -42,10 +43,60 @@ var (
 	episodes = flag.Int("episodes", 24, "soak: episodes to inject")
 	workers  = flag.Int("workers", 0, "soak: PDES worker count for the gray-only digest mode (0: sequential composed soak)")
 	bench    = flag.String("bench", "", "soak: write the per-episode SLO report as a JSON benchmark file")
+	groups   = flag.Bool("groups", false, "enable per-group attribution; print the group table at the end of the run")
+	slo      = flag.String("slo", "", "with -groups (implied): per-group SLO, p99=<dur>,goodput=<bytes/s>,drops=<frac>[,window=<dur>]; breaches fail the run")
 )
+
+// -slo parsed once in main; sloSet gates the evaluation path.
+var (
+	sloObj obs.SLOObjective
+	sloWin obs.SLOWindows
+	sloSet bool
+)
+
+// groupSetup turns per-group attribution on when -groups (or -slo) asks for
+// it, declaring the -slo objective before any traffic. Fallback deliveries
+// travel as unicast AMcast sends, so a degraded episode shows up in the group
+// table as a delivery gap plus attributed drops, not as fallback goodput.
+func groupSetup(c *cepheus.Cluster) {
+	if !*groups {
+		return
+	}
+	gs := c.EnableGroupStats(0)
+	if sloSet {
+		gs.SetDefaultObjective(sloObj)
+	}
+}
+
+// groupVerdict prints the per-group attribution table — and, with -slo, the
+// burn-rate report — at the end of a run. Any SLO breach fails the process.
+func groupVerdict(c *cepheus.Cluster) {
+	if !*groups {
+		return
+	}
+	fmt.Println("groups:")
+	reps := c.GroupReports()
+	obs.WriteGroupTable(os.Stdout, reps)
+	if sloSet && len(reps) > 0 {
+		res := obs.EvalSLOs(reps, c.GroupStats().ObjectiveFor, sloWin)
+		if obs.WriteSLOReport(os.Stdout, res) > 0 {
+			fmt.Fprintf(os.Stderr, "SLO %s breached\n", sloObj)
+			os.Exit(1)
+		}
+	}
+}
 
 func main() {
 	flag.Parse()
+	if *slo != "" {
+		var err error
+		if sloObj, sloWin, err = obs.ParseSLO(*slo); err != nil {
+			fmt.Fprintf(os.Stderr, "-slo: %v\n", err)
+			os.Exit(2)
+		}
+		sloSet = true
+		*groups = true // an SLO is meaningless without attribution
+	}
 	if *soak {
 		if *workers > 0 {
 			runSoakPDES()
@@ -292,6 +343,7 @@ func runSoak() {
 	if *audit {
 		c.EnableAudit()
 	}
+	groupSetup(c)
 	sz := soakSize()
 	h := soakHorizon()
 	fmt.Printf("soak seed=%d episodes=%d horizon=%v size=%dB hosts=%d\n", *seed, *episodes, h, sz, c.Hosts())
@@ -371,6 +423,7 @@ func runSoak() {
 	fmt.Printf("recovery: %+v\n", rg.Stats)
 	fmt.Printf("fabric:   %s\n", c.Metrics())
 	fmt.Printf("faults:   %+v\n", in.Stats)
+	groupVerdict(c)
 
 	auditClean := true
 	if *audit {
@@ -404,6 +457,7 @@ func runSoakPDES() {
 	if *audit {
 		c.EnableAudit()
 	}
+	groupSetup(c)
 	sz := soakSize()
 	h := soakHorizonPDES()
 	fmt.Printf("soak(pdes) seed=%d workers=%d episodes=%d horizon=%v size=%dB\n", *seed, *workers, *episodes, h, sz)
@@ -452,6 +506,7 @@ func runSoakPDES() {
 	report := fault.ComputeSLO(plan, nil)
 	fault.AttachGoodput(report.PerEpisode, evs)
 	printSLO(report)
+	groupVerdict(c)
 
 	if *audit {
 		rec.Barrier()
@@ -475,6 +530,7 @@ func run(c *cepheus.Cluster, inject func(*cepheus.Cluster, *fault.Injector) sim.
 	if *audit {
 		c.EnableAudit()
 	}
+	groupSetup(c)
 
 	members := make([]int, c.Hosts())
 	for i := range members {
@@ -522,6 +578,7 @@ func run(c *cepheus.Cluster, inject func(*cepheus.Cluster, *fault.Injector) sim.
 	fmt.Printf("faults:   %+v\n", in.Stats)
 	fmt.Printf("delivery latency (ns): %s\n", c.DeliveryLatency())
 	fmt.Printf("queue depth (bytes):   %s\n", c.QueueDepth())
+	groupVerdict(c)
 	if *trace != "" {
 		if err := c.WriteTraceFile(*trace, true); err != nil {
 			fmt.Fprintf(os.Stderr, "trace export failed: %v\n", err)

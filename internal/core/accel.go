@@ -192,6 +192,7 @@ func (a *Accel) Handle(sw *simnet.Switch, p *simnet.Packet, in *simnet.Port) boo
 		if p.Type == simnet.Data {
 			a.Stats.UnknownGroupDrops++
 			a.sw.Fabric().Inc(obs.FUnknownGroupDrops)
+			a.sw.GroupStats().Drop(uint32(p.Dst), a.sw.Engine().Now(), int64(p.Size()))
 			if tr := a.sw.Tracer(); tr.On() {
 				tr.Record(a.sw.Engine().Now(), obs.KDrop, obs.RUnknownGroup, in.ID,
 					uint8(p.Type), uint32(p.Src), uint32(p.Dst), p.SrcQP, p.DstQP, p.PSN, p.MsgID, 0, int64(p.Size()))

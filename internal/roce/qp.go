@@ -111,6 +111,14 @@ type QP struct {
 	ooo           map[uint64]oooPkt
 	lastNackedPSN uint64
 	lastNackedAt  sim.Time
+
+	// Group-stats cell caches (nil while attribution is off or the flow is
+	// unicast): gsRx is the receive-side cell keyed by the arriving
+	// packet's source, gsTx the send-side cell keyed by DstIP. Caching the
+	// cell pointer keeps per-packet attribution to a few field adds.
+	gsRx    *obs.GroupCell
+	gsRxSrc simnet.Addr
+	gsTx    *obs.GroupCell
 }
 
 // oooPkt is an out-of-order packet buffered by an IRN responder until the
@@ -150,6 +158,34 @@ func newQP(r *RNIC, qpn uint32) *QP {
 func (qp *QP) Connect(dstIP simnet.Addr, dstQPN uint32) {
 	qp.DstIP = dstIP
 	qp.DstQPN = dstQPN
+	qp.gsTx = nil // re-resolve the send-side group cell for the new remote
+}
+
+// rxGroupCell resolves (and caches) the receive-side group-stats cell for
+// ref's source; nil for unicast flows. Callers guard with qp.nic.gs != nil.
+func (qp *QP) rxGroupCell(ref *simnet.Packet) *obs.GroupCell {
+	if qp.gsRxSrc != ref.Src {
+		qp.gsRxSrc = ref.Src
+		if ref.Src.IsMulticast() {
+			qp.gsRx = qp.nic.gs.Cell(uint32(ref.Src))
+		} else {
+			qp.gsRx = nil
+		}
+	}
+	return qp.gsRx
+}
+
+// txGroupCell resolves (and caches) the send-side group-stats cell for the
+// QP's remote; nil for unicast connections. Callers guard with
+// qp.nic.gs != nil.
+func (qp *QP) txGroupCell() *obs.GroupCell {
+	if qp.gsTx == nil {
+		if !qp.DstIP.IsMulticast() {
+			return nil
+		}
+		qp.gsTx = qp.nic.gs.Cell(uint32(qp.DstIP))
+	}
+	return qp.gsTx
 }
 
 // SqPSN returns the requester's next send PSN (the paper's sqPSN).
@@ -371,6 +407,11 @@ func (qp *QP) emit() {
 		qp.nic.Stats.Retransmits++
 		if qp.nic.tr.On() {
 			qp.nic.rec(obs.KRetransmit, p, 0, int64(payload))
+		}
+		if qp.nic.gs != nil {
+			if c := qp.txGroupCell(); c != nil {
+				c.Retransmit(qp.eng.Now(), int64(payload))
+			}
 		}
 	}
 	p.Stamp = qp.eng.Now()
@@ -674,6 +715,11 @@ func (qp *QP) ingest(payload int, last bool, msgID uint64, va uint64, rkey uint3
 	qp.rqPSN++
 	qp.nackPending = false
 	qp.GoodputBytes += uint64(payload)
+	if qp.nic.gs != nil {
+		if c := qp.rxGroupCell(ref); c != nil {
+			c.Packet(qp.eng.Now(), int64(payload))
+		}
+	}
 	if va != 0 || rkey != 0 {
 		qp.curVA, qp.curRKey = va, rkey
 	}
@@ -684,7 +730,11 @@ func (qp *QP) ingest(payload int, last bool, msgID uint64, va uint64, rkey uint3
 	qp.sinceAck++
 	if last {
 		if qp.msgStamp > 0 {
-			qp.MsgLatHist.Observe(int64(qp.eng.Now() - qp.msgStamp))
+			mlat := int64(qp.eng.Now() - qp.msgStamp)
+			qp.MsgLatHist.Observe(mlat)
+			if qp.gsRx != nil {
+				qp.gsRx.Message(qp.eng.Now(), mlat)
+			}
 		}
 		m := Message{
 			MsgID: msgID, Size: qp.curBytes, Src: ref.Src, SrcQP: ref.SrcQP,

@@ -56,12 +56,23 @@ type RNIC struct {
 	// tr is the host's flight-recorder handle (shared with the NIC port);
 	// nil while tracing is off.
 	tr *obs.Tracer
+
+	// gs is this host's LP's group-stats shard; nil while group
+	// attribution is off (the nil check is the entire disabled cost).
+	gs *obs.GroupLP
 }
 
 // SetTracer attaches the host's flight-recorder handle. Transport events
 // (ACK/NACK/CNP tx+rx, retransmits, deliveries) record under the host's
 // device id with Port = -1.
 func (r *RNIC) SetTracer(tr *obs.Tracer) { r.tr = tr }
+
+// SetGroupStats attaches the LP's group-stats shard. Responder QPs book
+// accepted multicast payload and message latency against it; requester QPs
+// book retransmissions. Attribution is pure host-side accounting — it
+// schedules nothing and mutates no packet, so enabling it never perturbs
+// the simulation.
+func (r *RNIC) SetGroupStats(gs *obs.GroupLP) { r.gs = gs }
 
 // rec captures one transport event against packet p; callers guard with
 // r.tr.On().

@@ -203,6 +203,7 @@ func (pt *Port) recordImpairDrop(p *Packet) {
 		pt.Stats.StormDrops++
 		pt.fab.Inc(obs.FStormDrops)
 	}
+	pt.gsDrop(p)
 	if pt.tr.On() {
 		pt.rec(obs.KDrop, p.impairDrop, p, int64(pt.qBytes), int64(p.Size()))
 	}

@@ -130,6 +130,12 @@ type Port struct {
 	tr    *obs.Tracer
 	fab   *obs.FabricLP
 	QHist obs.Histogram
+
+	// gs is the owning LP's group-stats shard (nil while group attribution
+	// is off — the nil check is the entire disabled cost). Ports only
+	// attribute drops: delivery and retransmission are booked end-host
+	// side, where the group is known without classification.
+	gs *obs.GroupLP
 }
 
 // SetTracer attaches the owning device's flight-recorder handle. Port events
@@ -138,6 +144,25 @@ func (pt *Port) SetTracer(tr *obs.Tracer) { pt.tr = tr }
 
 // SetFabric attaches the owning LP's fabric-counter shard.
 func (pt *Port) SetFabric(fab *obs.FabricLP) { pt.fab = fab }
+
+// SetGroupStats attaches the owning LP's group-stats shard.
+func (pt *Port) SetGroupStats(gs *obs.GroupLP) { pt.gs = gs }
+
+// gsDrop attributes one dropped frame to its multicast group: forward-path
+// frames by destination, group-sourced feedback (whose Src the leaf accel
+// rewrote to the McstID) by source. No-op for unicast-only frames or while
+// attribution is off; drop paths are cold, so the map lookup inside is fine.
+func (pt *Port) gsDrop(p *Packet) {
+	if pt.gs == nil {
+		return
+	}
+	switch {
+	case p.Dst.IsMulticast():
+		pt.gs.Drop(uint32(p.Dst), pt.eng.Now(), int64(p.Size()))
+	case p.Src.IsMulticast():
+		pt.gs.Drop(uint32(p.Src), pt.eng.Now(), int64(p.Size()))
+	}
+}
 
 // rec captures one packet-scoped flight-recorder event; callers guard with
 // pt.tr.On(). a is the kind-specific payload (usually queue depth in bytes);
@@ -191,6 +216,7 @@ func (h *deliverHandler) OnEvent(_ *sim.Engine, arg any) {
 	if pt.epoch != p.txEpoch || peer.epoch != p.peerEpoch {
 		pt.Stats.FaultDrops++
 		pt.fab.Inc(obs.FFaultDrops)
+		pt.gsDrop(p)
 		if pt.tr.On() {
 			pt.rec(obs.KDrop, obs.RFault, p, 0, int64(p.Size()))
 		}
@@ -214,6 +240,7 @@ func (h *rxHandler) OnEvent(_ *sim.Engine, arg any) {
 	if pt.down {
 		pt.Stats.FaultDrops++
 		pt.fab.Inc(obs.FFaultDrops)
+		pt.gsDrop(p)
 		if pt.tr.On() {
 			pt.rec(obs.KDrop, obs.RFault, p, 0, int64(p.Size()))
 		}
@@ -403,6 +430,7 @@ func (pt *Port) purge() {
 			pt.Stats.Drops++
 			pt.Stats.FaultDrops++
 			pt.fab.Inc(obs.FFaultDrops)
+			pt.gsDrop(p)
 			if pt.tr.On() {
 				pt.rec(obs.KDrop, obs.RFault, p, int64(pt.qBytes), int64(p.Size()))
 			}
@@ -448,6 +476,7 @@ func (pt *Port) SendUrgent(p *Packet) {
 		pt.Stats.Drops++
 		pt.Stats.FaultDrops++
 		pt.fab.Inc(obs.FFaultDrops)
+		pt.gsDrop(p)
 		if pt.tr.On() {
 			pt.rec(obs.KDrop, obs.RFault, p, int64(pt.qBytes), int64(p.Size()))
 		}
@@ -470,6 +499,7 @@ func (pt *Port) enqueue(p *Packet, urgent bool) {
 		pt.Stats.Drops++
 		pt.Stats.FaultDrops++
 		pt.fab.Inc(obs.FFaultDrops)
+		pt.gsDrop(p)
 		if pt.tr.On() {
 			pt.rec(obs.KDrop, obs.RFault, p, int64(pt.qBytes), int64(p.Size()))
 		}
@@ -478,6 +508,7 @@ func (pt *Port) enqueue(p *Packet, urgent bool) {
 	}
 	if pt.QueueLimit > 0 && pt.qBytes+size > pt.QueueLimit {
 		pt.Stats.Drops++
+		pt.gsDrop(p)
 		if pt.tr.On() {
 			pt.rec(obs.KDrop, obs.RQueueLimit, p, int64(pt.qBytes), int64(size))
 		}
@@ -714,6 +745,7 @@ func (pt *Port) onArrive() {
 	if pt.epoch != p.txEpoch || peer.epoch != p.peerEpoch {
 		pt.Stats.FaultDrops++
 		pt.fab.Inc(obs.FFaultDrops)
+		pt.gsDrop(p)
 		if pt.tr.On() {
 			pt.rec(obs.KDrop, obs.RFault, p, 0, int64(p.Size()))
 		}

@@ -120,6 +120,10 @@ type Switch struct {
 	// the owning LP's fabric-counter shard.
 	tr  *obs.Tracer
 	fab *obs.FabricLP
+
+	// gs is the owning LP's group-stats shard (nil while group attribution
+	// is off); shared with the switch's ports like tr and fab.
+	gs *obs.GroupLP
 }
 
 // SetTracer attaches the flight-recorder handle and propagates it to every
@@ -147,6 +151,34 @@ func (sw *Switch) SetFabric(fab *obs.FabricLP) {
 
 // Fabric returns the switch's fabric shard (nil outside a Cluster).
 func (sw *Switch) Fabric() *obs.FabricLP { return sw.fab }
+
+// SetGroupStats attaches the owning LP's group-stats shard to the switch
+// and its ports.
+func (sw *Switch) SetGroupStats(gs *obs.GroupLP) {
+	sw.gs = gs
+	for _, pt := range sw.Ports {
+		pt.SetGroupStats(gs)
+	}
+}
+
+// GroupStats returns the switch's group-stats shard (nil while attribution
+// is off), so the attached accelerator can book its drops against the same
+// shard.
+func (sw *Switch) GroupStats() *obs.GroupLP { return sw.gs }
+
+// gsDrop attributes a switch-level drop to its multicast group (see
+// Port.gsDrop for the classification rule).
+func (sw *Switch) gsDrop(p *Packet) {
+	if sw.gs == nil {
+		return
+	}
+	switch {
+	case p.Dst.IsMulticast():
+		sw.gs.Drop(uint32(p.Dst), sw.eng.Now(), int64(p.Size()))
+	case p.Src.IsMulticast():
+		sw.gs.Drop(uint32(p.Src), sw.eng.Now(), int64(p.Size()))
+	}
+}
 
 // recDrop captures a switch-level drop; callers guard with sw.tr.On().
 func (sw *Switch) recDrop(r obs.Reason, p *Packet, port int) {
@@ -233,6 +265,7 @@ func (sw *Switch) Receive(p *Packet, in *Port) {
 	if sw.down {
 		sw.CrashDrops++
 		sw.fab.Inc(obs.FCrashDrops)
+		sw.gsDrop(p)
 		if sw.tr.On() {
 			port := -1
 			if in != nil {
@@ -276,6 +309,7 @@ func (sw *Switch) Forward(p *Packet, in *Port) {
 	if len(ports) == 0 {
 		sw.NoRouteDrops++
 		sw.fab.Inc(obs.FNoRouteDrops)
+		sw.gsDrop(p)
 		if sw.tr.On() {
 			port := -1
 			if in != nil {
@@ -299,6 +333,7 @@ func (sw *Switch) Output(p *Packet, out int, in *Port) {
 	if sw.down {
 		sw.CrashDrops++
 		sw.fab.Inc(obs.FCrashDrops)
+		sw.gsDrop(p)
 		if sw.tr.On() {
 			sw.recDrop(obs.RCrash, p, out)
 		}
@@ -308,6 +343,7 @@ func (sw *Switch) Output(p *Packet, out int, in *Port) {
 	if sw.LossRate > 0 && p.Type == Data && sw.eng.Rand().Float64() < sw.LossRate {
 		sw.DataDrops++
 		sw.fab.Inc(obs.FDataDrops)
+		sw.gsDrop(p)
 		if sw.tr.On() {
 			sw.recDrop(obs.RLoss, p, out)
 		}
@@ -317,6 +353,7 @@ func (sw *Switch) Output(p *Packet, out int, in *Port) {
 	if sw.ControlLossRate > 0 && isLossyControl(p.Type) && sw.eng.Rand().Float64() < sw.ControlLossRate {
 		sw.CtrlDrops++
 		sw.fab.Inc(obs.FCtrlDrops)
+		sw.gsDrop(p)
 		if sw.tr.On() {
 			sw.recDrop(obs.RCtrlLoss, p, out)
 		}

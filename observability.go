@@ -56,6 +56,55 @@ func (c *Cluster) EnableTrace(capacity int) *obs.Recorder {
 	return rec
 }
 
+// EnableGroupStats turns per-group attribution on for every device in the
+// cluster and returns the registry: delivered payload and per-message
+// latency book at responder RNICs, retransmissions at requester RNICs, and
+// drops wherever the fabric kills a frame — each keyed by the multicast
+// group id that owned the traffic. bucket is the goodput time-series
+// resolution (0 selects obs.DefaultGoodputBucket).
+//
+// Attribution is pure host-side accounting on per-LP shards (one writer
+// each, merged at read time): it schedules no events, mutates no packets,
+// and draws no randomness, so enabling it is digest- and trace-byte-neutral
+// at every worker count — unlike EnableSeries, it works in parallel mode.
+// Declare SLO objectives (GS.SetObjective) before the traffic of interest;
+// the delivery-latency threshold is latched at each group's first packet.
+func (c *Cluster) EnableGroupStats(bucket sim.Time) *obs.GroupStats {
+	if c.GS != nil {
+		return c.GS
+	}
+	nlp := 1
+	if c.Par != nil {
+		nlp = c.Par.NumLPs()
+	}
+	gs := obs.NewGroupStats(nlp, bucket)
+	for _, sw := range c.Net.Switches {
+		sw.SetGroupStats(gs.LP(sw.Engine().LP()))
+	}
+	for i, h := range c.Net.Hosts {
+		lp := gs.LP(h.Engine().LP())
+		h.NIC.SetGroupStats(lp)
+		c.RNICs[i].SetGroupStats(lp)
+	}
+	c.GS = gs
+	return gs
+}
+
+// GroupStats returns the per-group attribution registry (nil until
+// EnableGroupStats).
+func (c *Cluster) GroupStats() *obs.GroupStats { return c.GS }
+
+// GroupReports returns the merged per-group snapshot, sorted by group id;
+// empty until EnableGroupStats and some multicast traffic. Read only while
+// the cluster is quiescent (between runs).
+func (c *Cluster) GroupReports() []obs.GroupReport { return c.GS.Snapshot() }
+
+// GroupFairness derives the fairness report (Jain's index, max/min goodput
+// ratio, p99 isolation gap) from the current group snapshot.
+func (c *Cluster) GroupFairness() obs.FairnessReport {
+	return obs.Fairness(c.GS.Snapshot())
+}
+
 // auditDrainInterval is how often a sequential cluster drains recorder
 // shards through the auditor. Parallel clusters drain at every window
 // barrier already; sequential ones drain lazily at export, which would let
